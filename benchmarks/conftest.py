@@ -1,0 +1,20 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment once (they are deterministic
+simulations — repetition changes nothing but wall time) and prints the
+regenerated table/figure data so `pytest benchmarks/ --benchmark-only -s`
+doubles as the paper-reproduction report.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

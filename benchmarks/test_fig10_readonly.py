@@ -1,0 +1,25 @@
+"""Figure 10: read-only vs written memory ratio per function."""
+
+from repro.bench import container, format_table
+from repro.workloads.functions import FUNCTIONS
+
+
+def test_fig10_readonly(run_once):
+    data = run_once(container.run_fig10_readonly)
+
+    rows = [(name, v["touched_pages"], v["written_pages"],
+             v["read_only_ratio"] * 100)
+            for name, v in data.items()]
+    print()
+    print(format_table("Figure 10: read-only page ratio (%)",
+                       ("func", "touched", "written", "ro_%"), rows,
+                       width=12))
+
+    ratios = [v["read_only_ratio"] for v in data.values()]
+    # §5.1: 24% to 90% of pages used during execution are read-only.
+    assert 0.20 <= min(ratios) <= 0.30
+    assert 0.85 <= max(ratios) <= 0.95
+    # IR is the read-heavy extreme; IFR the write-heavy one (§9.5).
+    assert data["IR"]["read_only_ratio"] == max(ratios)
+    assert data["IFR"]["read_only_ratio"] == min(ratios)
+    assert set(data) == {f.name for f in FUNCTIONS}

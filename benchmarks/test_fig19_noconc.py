@@ -1,0 +1,37 @@
+"""Figure 19: normalized E2E latency without concurrency.
+
+Bars split into startup (hatched in the paper) and execution; values
+normalised against CRIU per function.
+"""
+
+from repro.bench import container, format_table
+from repro.workloads.functions import FUNCTIONS
+
+
+def test_fig19_noconc(run_once):
+    data = run_once(container.run_fig19_noconc)
+
+    rows = []
+    for fn, per_platform in data.items():
+        base = per_platform["criu"]["e2e"]
+        for name, d in per_platform.items():
+            rows.append((fn, name, d["startup"] * 1e3, d["exec"] * 1e3,
+                         d["e2e"] / base))
+    print()
+    print(format_table(
+        "Figure 19: uncontended latency (startup/exec ms, e2e vs CRIU)",
+        ("func", "platform", "startup", "exec", "norm"), rows, width=13))
+
+    for fn in (f.name for f in FUNCTIONS):
+        per = data[fn]
+        # TrEnv's startup is far below CRIU's everywhere.
+        assert per["t-cxl"]["startup"] < per["criu"]["startup"] / 5
+        # Lazy VMs beat CRIU on startup for big images.
+        if fn in ("IR", "VP", "IFR"):
+            assert per["reap+"]["startup"] < per["criu"]["startup"]
+        # Execution: CRIU (local DRAM) is the floor; T-CXL pays the CXL
+        # latency premium but stays within ~2.2x (paper: DH/IR nearly
+        # double, others ~10%).
+        assert per["t-cxl"]["exec"] < 2.3 * per["criu"]["exec"]
+        # E2E: TrEnv still wins overall on every function uncontended.
+        assert per["t-cxl"]["e2e"] < per["criu"]["e2e"] * 1.05

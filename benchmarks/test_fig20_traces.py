@@ -1,0 +1,48 @@
+"""Figure 20: P99 E2E latency on Azure/Huawei traces, normalized to REAP+."""
+
+import math
+
+from repro.bench import container, format_table
+
+
+def _report(data):
+    rows = []
+    for name, per_fn in data["normalized"].items():
+        for fn, norm in sorted(per_fn.items()):
+            rows.append((data["trace"], name, fn, norm))
+    print()
+    print(format_table(
+        f"Figure 20 ({data['trace']}): P99 normalized to REAP+",
+        ("trace", "platform", "func", "norm_p99"), rows, width=13))
+
+
+def _assert_shapes(data):
+    norm = data["normalized"]
+    t_cxl = norm["t-cxl"]
+    # T-CXL achieves speedups over REAP+ on most functions (paper:
+    # 1.06-7.00x across all); never pathologically slower.
+    wins = sum(1 for v in t_cxl.values() if v < 1.0)
+    assert wins >= len(t_cxl) * 0.6
+    assert all(v < 1.6 for v in t_cxl.values())
+    best_speedup = 1.0 / min(t_cxl.values())
+    assert 1.05 < best_speedup < 30.0
+    # Memory: TrEnv reduces usage by over 25% vs baselines (§9.3).
+    plat = data["platforms"]
+    for base in ("reap+", "faasnap+"):
+        assert (plat["t-cxl"]["peak_memory_mb"]
+                < 0.75 * plat[base]["peak_memory_mb"])
+    # §9.5: T-RDMA burns more CPU than T-CXL (paper: ~1.24x).
+    assert (plat["t-rdma"]["cpu_utilization"]
+            >= plat["t-cxl"]["cpu_utilization"])
+
+
+def test_fig20_azure(run_once):
+    data = run_once(container.run_fig20_traces, "azure", duration=900.0)
+    _report(data)
+    _assert_shapes(data)
+
+
+def test_fig20_huawei(run_once):
+    data = run_once(container.run_fig20_traces, "huawei", duration=900.0)
+    _report(data)
+    _assert_shapes(data)

@@ -1,0 +1,44 @@
+"""Figure 21: contribution of each optimisation step (IR and JS)."""
+
+from repro.bench import container, format_table
+
+
+def test_fig21_ablation(run_once):
+    data = run_once(container.run_fig21_ablation)
+
+    rows = []
+    for fn, steps in data.items():
+        for label, d in steps.items():
+            rows.append((fn, label, d["startup"] * 1e3, d["exec"] * 1e3,
+                         d["kind"]))
+    print()
+    print(format_table("Figure 21: ablation ladder (ms)",
+                       ("func", "step", "startup", "exec", "kind"), rows,
+                       width=14))
+
+    for fn in ("IR", "JS"):
+        steps = data[fn]
+        criu = steps["CRIU"]["startup"]
+        reconfig = steps["Reconfig"]["startup"]
+        cgroup = steps["Cgroup"]["startup"]
+        full = steps["mm-template"]["startup"]
+        # Monotone improvement down the ladder.
+        assert criu > reconfig > cgroup > full
+        # "Reconfig" saves on the order of 100-200 ms (paper: ~200 ms).
+        assert criu - reconfig > 0.08
+        # "Cgroup" saves the migration cost: 10-50 ms band.
+        assert 0.005 < reconfig - cgroup < 0.08
+
+    # mm-template alone: big for IR (paper: 290 ms), smaller for JS
+    # (67 ms); final startups land near the paper's 18 ms / 8 ms.
+    ir_gain = data["IR"]["Cgroup"]["startup"] - data["IR"]["mm-template"]["startup"]
+    js_gain = data["JS"]["Cgroup"]["startup"] - data["JS"]["mm-template"]["startup"]
+    assert ir_gain > 3 * js_gain
+    assert data["IR"]["mm-template"]["startup"] < 0.040
+    assert data["JS"]["mm-template"]["startup"] < 0.020
+
+    # Remote memory costs execution a little (paper: +24 ms IR, +11 ms JS).
+    for fn in ("IR", "JS"):
+        delta = (data[fn]["mm-template"]["exec"]
+                 - data[fn]["CRIU"]["exec"])
+        assert 0.0 < delta < 0.1

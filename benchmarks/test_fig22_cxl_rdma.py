@@ -1,0 +1,30 @@
+"""Figure 22: T-CXL vs T-RDMA execution latency (P75 and P99)."""
+
+from repro.bench import container, format_table
+
+
+def test_fig22_cxl_vs_rdma(run_once):
+    data = run_once(container.run_fig22_cxl_vs_rdma)
+
+    rows = []
+    for fn, d in data.items():
+        rows.append((fn, d["t-cxl"]["p75_exec"] * 1e3,
+                     d["t-rdma"]["p75_exec"] * 1e3,
+                     d["speedup_p75"], d["speedup_p99"]))
+    print()
+    print(format_table(
+        "Figure 22: execution latency, CXL vs RDMA",
+        ("func", "cxl_p75", "rdma_p75", "sp_p75", "sp_p99"), rows,
+        width=13))
+
+    speedups_p75 = [d["speedup_p75"] for d in data.values()]
+    speedups_p99 = [d["speedup_p99"] for d in data.values()]
+    # §9.5: CXL wins on every function, 1.04x-3.51x at P75.
+    assert all(s >= 1.0 for s in speedups_p75)
+    assert 1.02 < max(speedups_p75) < 6.0
+    # The P99 disparity is even more pronounced (RDMA tail instability).
+    assert max(speedups_p99) >= max(speedups_p75)
+    # Memory-bound short functions benefit most; compute-bound ones
+    # (VP, IP) barely notice the backend (§9.2.3).
+    assert data["VP"]["speedup_p75"] < 1.3
+    assert data["IR"]["speedup_p75"] > data["VP"]["speedup_p75"]

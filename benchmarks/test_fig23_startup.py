@@ -1,0 +1,28 @@
+"""Figure 23: Blackjack agent startup latency across VM platforms."""
+
+from repro.bench import agents, format_table
+
+
+def test_fig23_startup(run_once):
+    data = run_once(agents.run_fig23_startup)
+
+    rows = [(name, data["single"][name] * 1e3,
+             data["concurrent"][name]["mean"] * 1e3,
+             data["concurrent"][name]["max"] * 1e3)
+            for name in data["single"]]
+    print()
+    print(format_table(
+        "Figure 23: Blackjack startup latency (ms)",
+        ("platform", "single", "conc_mean", "conc_max"), rows, width=13))
+
+    single = data["single"]
+    conc = data["concurrent"]
+    # §9.6.1: TrEnv cuts startup ~40-60% vs E2B and E2B+.
+    assert single["trenv"] < 0.65 * single["e2b"]
+    assert single["trenv"] < 0.65 * single["e2b+"]
+    assert 0.2 < single["trenv"] / single["e2b"]
+    # Vanilla CH full-copy restore exceeds 700 ms.
+    assert single["ch"] > 0.7
+    # Concurrency inflates E2B (network setup contention) but not TrEnv.
+    assert conc["e2b"]["max"] > 1.2 * single["e2b"]
+    assert conc["trenv"]["max"] < 1.2 * single["trenv"]

@@ -1,0 +1,27 @@
+"""Figure 25: peak memory of agents on E2B / E2B+ / TrEnv."""
+
+from repro.bench import agents, format_table
+
+
+def test_fig25_agent_memory(run_once):
+    data = run_once(agents.run_fig25_agent_memory, instances=10)
+
+    rows = []
+    for agent, d in data.items():
+        rows.append((agent, d["e2b"], d["e2b+"], d["trenv-s"],
+                     d["saving_vs_e2b:trenv-s"] * 100))
+    print()
+    print(format_table(
+        "Figure 25: peak memory, 10 concurrent instances (MB)",
+        ("agent", "e2b", "e2b+", "trenv", "saving_%"), rows, width=15))
+
+    savings = {a: d["saving_vs_e2b:trenv-s"] for a, d in data.items()}
+    # §9.6.3: TrEnv saves ~10-61% vs E2B depending on file-IO intensity.
+    assert all(0.02 <= s <= 0.70 for s in savings.values()), savings
+    assert max(savings.values()) > 0.30
+    # Lightweight, IO-poor agents gain least (paper: Blackjack/Bug fixer).
+    assert savings["blackjack"] < savings["blog-summary"]
+    assert savings["bug-fixer"] < savings["map-reduce"]
+    # TrEnv also beats E2B+ (paper: up to 48%).
+    for agent, d in data.items():
+        assert d["trenv-s"] <= d["e2b+"] * 1.001

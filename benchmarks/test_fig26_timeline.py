@@ -1,0 +1,30 @@
+"""Figure 26: memory usage over the execution of two agents."""
+
+from repro.bench import agents, format_table
+
+
+def test_fig26_memory_timeline(run_once):
+    data = run_once(agents.run_fig26_memory_timeline)
+
+    rows = []
+    for agent, d in data.items():
+        rows.append((agent, d["e2b"]["peak_mb"], d["trenv-s"]["peak_mb"],
+                     d["e2b"]["integral_mb_s"],
+                     d["trenv-s"]["integral_mb_s"],
+                     d["cost_saving"] * 100))
+    print()
+    print(format_table(
+        "Figure 26: memory over time (peak MB, integral MB*s, saving %)",
+        ("agent", "e2b_pk", "trenv_pk", "e2b_int", "trenv_int", "save_%"),
+        rows, width=13))
+
+    for agent, d in data.items():
+        # Memory grows over the run and is released at the end.
+        timeline = d["e2b"]["timeline"]
+        assert len(timeline) > 3
+        peak_point = max(mb for _t, mb in timeline)
+        assert timeline[0][1] < peak_point
+        # §9.6.3: usage x duration cost drops substantially (paper: >50%
+        # overall; per-agent varies with file-IO share).
+        assert d["cost_saving"] > 0.15
+    assert data["blog-summary"]["cost_saving"] > 0.25

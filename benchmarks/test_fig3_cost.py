@@ -1,0 +1,28 @@
+"""Figure 3: serverless cost relative to LLM API cost per agent."""
+
+from repro.bench import agents, format_table
+
+
+def test_fig3_cost(run_once):
+    data = run_once(agents.run_fig3_cost)
+
+    rows = [(name, v["llm_usd"] * 1e3, v["serverless_usd"] * 1e3,
+             v["relative"] * 100)
+            for name, v in data.items()]
+    print()
+    print(format_table("Figure 3: cost per run (mUSD) and C_s/C_LLM (%)",
+                       ("agent", "llm_mUSD", "sls_mUSD", "ratio_%"), rows,
+                       width=16))
+
+    ratios = {name: v["relative"] for name, v in data.items()}
+    # §1/abstract: serverless cost reaches a large fraction of the LLM
+    # cost — up to ~70% for some agents.
+    assert 0.30 < max(ratios.values()) < 1.0
+    # §2.3 finding 2: complex (browser) agents sit above lightweight ones.
+    light = max(ratios["blackjack"], ratios["bug-fixer"],
+                ratios["map-reduce"])
+    heavy = max(ratios["shop-assistant"], ratios["blog-summary"],
+                ratios["game-design"])
+    assert heavy > light
+    # Blog summary is the worst case in our calibration.
+    assert ratios["blog-summary"] == max(ratios.values())

@@ -1,0 +1,33 @@
+"""Figure 4: latency breakdown of a Python function's startup paths."""
+
+from repro.bench import container, format_table
+
+
+def test_fig4_breakdown(run_once):
+    data = run_once(container.run_fig4_breakdown)
+
+    rows = []
+    for path, parts in data.items():
+        for part, seconds in parts.items():
+            rows.append((path, part, seconds * 1e3))
+    print()
+    print(format_table("Figure 4: startup breakdown (ms)",
+                       ("path", "component", "ms"), rows, width=16))
+
+    cold = data["cold_start"]
+    criu = data["criu"]
+    trenv = data["trenv"]
+
+    # Cold start: sandbox + bootstrap both substantial; bootstrap dominates.
+    assert cold["sandbox"] > 0.1
+    assert cold["bootstrap"] > cold["sandbox"]
+
+    # CRIU kills the bootstrap but keeps the sandbox and pays the memory
+    # copy (>50 ms for this ~95 MB image).
+    assert criu["total"] < cold["total"] / 2
+    assert criu["mem"] > 0.045
+    assert criu["sandbox"] > 0.1
+
+    # TrEnv removes both: ~10 ms total.
+    assert trenv["total"] < 0.015
+    assert trenv["total"] < criu["total"] / 10

@@ -1,0 +1,40 @@
+"""Table 1: container component overheads vs TrEnv's solutions."""
+
+from repro.bench import container, format_table
+
+
+def test_table1_components(run_once):
+    data = run_once(container.run_table1_components)
+
+    rows = []
+    for unit, vals in data.items():
+        for op, seconds in vals.items():
+            rows.append((unit, op, seconds * 1e3))
+    print()
+    print(format_table("Table 1: component overheads (ms)",
+                       ("unit", "operation", "ms"), rows, width=18))
+
+    # Paper bands: netns 80 ms - 10 s; rootfs 10-800 ms; cgroup
+    # create+migrate 26-82 ms; other <1 ms; memory copy >60 ms for small
+    # images while mmt_attach is sub-ms.
+    net = data["network"]
+    assert 0.05 <= net["create_single"] <= 10.0
+    assert net["create_15way"] > 4 * net["create_single"]
+    assert net["trenv_reuse"] == 0.0
+
+    rootfs = data["rootfs"]
+    assert 0.010 <= rootfs["create"] <= 0.800
+    assert rootfs["trenv_reconfig"] < rootfs["create"] / 10
+
+    cg = data["cgroup"]
+    assert 0.016 <= cg["create"] <= 0.032
+    assert 0.010 <= cg["migrate"] <= 0.050
+    assert cg["trenv_clone_into"] < 0.001
+
+    assert data["other_ns"]["create"] < 0.001
+
+    mem = data["process_memory"]
+    assert mem["criu_copy"] > 0.050          # >300 ms band covers larger fns
+    assert mem["trenv_mmt_attach"] < 0.002
+
+    assert 0.003 <= data["process_other"]["criu_misc"] <= 0.030

@@ -1,0 +1,32 @@
+"""Table 2: representative agent characteristics on the VM platform."""
+
+import pytest
+
+from repro.agents.spec import AGENTS
+from repro.bench import agents, format_table
+
+
+def test_table2_agents(run_once):
+    data = run_once(agents.run_table2_agents)
+
+    rows = [(name, v["e2e_s"], v["e2e_paper_s"], v["memory_mb"],
+             v["cpu_time_s"], v["cpu_time_paper_s"])
+            for name, v in data.items()]
+    print()
+    print(format_table(
+        "Table 2: agent characteristics (measured vs paper)",
+        ("agent", "e2e_s", "paper_e2e", "mem_MB", "cpu_s", "paper_cpu"),
+        rows, width=14))
+
+    for spec in AGENTS:
+        row = data[spec.name]
+        # End-to-end latency reproduces the recorded run within 10%.
+        assert row["e2e_s"] == pytest.approx(spec.e2e_target, rel=0.10)
+        # Active time tracks the paper's CPU time (our measurement also
+        # includes the browser launch, so allow 35%).  The 1-vCPU guest
+        # quota serialises even map-reduce's parallel tool branches,
+        # exactly as on the paper's testbed.
+        assert row["cpu_time_s"] == pytest.approx(spec.cpu_time, rel=0.35)
+        # §2.4: agents are idle most of the time (blog-summary peaks
+        # near 30%; everything else is far below).
+        assert row["cpu_utilization"] < 0.32

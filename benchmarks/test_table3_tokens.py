@@ -1,0 +1,20 @@
+"""Table 3: LLM token usage per agent."""
+
+from repro.agents.spec import AGENTS
+from repro.bench import agents, format_table
+
+
+def test_table3_tokens(run_once):
+    data = run_once(agents.run_table3_tokens)
+
+    rows = [(name, v["input_tokens"], v["output_tokens"], v["n_calls"])
+            for name, v in data.items()]
+    print()
+    print(format_table("Table 3: token usage",
+                       ("agent", "input", "output", "calls"), rows,
+                       width=16))
+
+    for spec in AGENTS:
+        row = data[spec.name]
+        assert row["input_tokens"] == spec.input_tokens
+        assert row["output_tokens"] == spec.output_tokens

@@ -1,0 +1,54 @@
+"""TrEnv (SOSP 2024) reproduction.
+
+Public API overview — see README.md for the architecture tour:
+
+* :class:`repro.node.Node` — a simulated host (CPU, memory, kernel).
+* :class:`repro.core.TrEnvPlatform` — the TrEnv container platform;
+  baselines live in :mod:`repro.serverless`.
+* :mod:`repro.core.mm_template` — the mm-template API (Figure 11).
+* :mod:`repro.agents` — agent specs and the VM agent platforms
+  (E2B / E2B+ / vanilla CH / TrEnv-S).
+* :mod:`repro.workloads` — Table-4 functions and arrival generators.
+* :mod:`repro.bench` — per-table/figure experiment harness.
+"""
+
+from repro.node import Node
+from repro.core import (MemoryTemplate, MMTemplateRegistry,
+                        RepurposableSandboxPool, Repurposer, TrEnvConfig,
+                        TrEnvPlatform, build_template_for_function)
+from repro.mem.pools import (CXLPool, DedupStore, NASPool, RDMAPool,
+                             TieredPool)
+from repro.serverless import (CRIUPlatform, FaasdPlatform, FaasnapPlatform,
+                              ReapPlatform, run_workload)
+from repro.workloads import (FUNCTIONS, function_by_name, make_azure_workload,
+                             make_huawei_workload, make_w1_bursty,
+                             make_w2_diurnal)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CRIUPlatform",
+    "CXLPool",
+    "DedupStore",
+    "FUNCTIONS",
+    "FaasdPlatform",
+    "FaasnapPlatform",
+    "MMTemplateRegistry",
+    "MemoryTemplate",
+    "NASPool",
+    "Node",
+    "RDMAPool",
+    "ReapPlatform",
+    "RepurposableSandboxPool",
+    "Repurposer",
+    "TieredPool",
+    "TrEnvConfig",
+    "TrEnvPlatform",
+    "build_template_for_function",
+    "function_by_name",
+    "make_azure_workload",
+    "make_huawei_workload",
+    "make_w1_bursty",
+    "make_w2_diurnal",
+    "run_workload",
+]

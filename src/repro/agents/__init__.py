@@ -1,0 +1,44 @@
+"""LLM-agent workloads and the VM-based agent platforms (§2, §6, §9.6).
+
+* :mod:`repro.agents.spec` — the six representative agents of Table 2
+  with their resource profiles and token usage (Table 3).
+* :mod:`repro.agents.llm` — the deterministic trace-replay inference
+  server of §9.6 ("agents interact with a simulated inference server that
+  replays the recorded outputs and enforces the same response latency").
+* :mod:`repro.agents.cost` — the billing model of §2.3 (Equations 1–2).
+* :mod:`repro.agents.browser` — browser process trees and the §6.2
+  sharing pool.
+* :mod:`repro.agents.runner` — the agent workflow execution engine.
+* :mod:`repro.agents.platform` — E2B, E2B+, vanilla Cloud Hypervisor and
+  TrEnv(-S) agent platforms.
+"""
+
+from repro.agents.spec import AGENTS, AgentSpec, agent_by_name
+from repro.agents.llm import LLMCall, LLMTrace, ReplayLLMServer
+from repro.agents.cost import PriceConfig, llm_cost, serverless_cost
+from repro.agents.browser import Browser, BrowserPool
+from repro.agents.runner import AgentResult, AgentWorkflow
+from repro.agents.platform import (AgentPlatform, E2BPlatform,
+                                   E2BPlusPlatform, TrEnvVMPlatform,
+                                   VanillaCHPlatform)
+
+__all__ = [
+    "AGENTS",
+    "AgentPlatform",
+    "AgentResult",
+    "AgentSpec",
+    "AgentWorkflow",
+    "Browser",
+    "BrowserPool",
+    "E2BPlatform",
+    "E2BPlusPlatform",
+    "LLMCall",
+    "LLMTrace",
+    "PriceConfig",
+    "ReplayLLMServer",
+    "TrEnvVMPlatform",
+    "VanillaCHPlatform",
+    "agent_by_name",
+    "llm_cost",
+    "serverless_cost",
+]

@@ -1,0 +1,155 @@
+"""Browser process trees and the §6.2 sharing pool.
+
+A Chromium instance is a process tree: a main (browser) process, a
+network service, a GPU/utility process, and one renderer per tab.  The
+main/network/utility processes and warmed caches can be multiplexed, so
+letting ~10 agents share one instance — each in its own tab group —
+removes most of the per-agent footprint and a chunk of the per-agent CPU
+(shared compositor, warm connection pools, shared font/code caches).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional
+
+from repro.mem.accounting import MemoryAccountant
+from repro.mem.layout import MB
+from repro.sim.engine import Delay, Simulator
+from repro.sim.latency import LatencyModel
+
+#: Fixed process-tree footprint (main + network + GPU/utility processes).
+BROWSER_BASE_MB = 360
+#: Per-tab renderer process footprint.
+TAB_RENDERER_MB = 90
+#: Fraction of an agent's browser CPU that sharing eliminates (warm
+#: caches, shared compositor/network stack).
+SHARED_CPU_DISCOUNT = 0.35
+
+
+class Browser:
+    """One running browser instance with per-agent tab groups."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, accountant: MemoryAccountant, max_agents: int = 10):
+        self.browser_id = next(Browser._ids)
+        self.accountant = accountant
+        self.max_agents = max_agents
+        self.tabs: Dict[int, int] = {}       # agent id -> tab count
+        self.alive = True
+        accountant.charge("browser", BROWSER_BASE_MB * MB)
+
+    @property
+    def agent_count(self) -> int:
+        return len(self.tabs)
+
+    @property
+    def has_capacity(self) -> bool:
+        return self.alive and self.agent_count < self.max_agents
+
+    def attach(self, agent_id: int) -> None:
+        if not self.has_capacity:
+            raise RuntimeError(f"browser #{self.browser_id} is full")
+        if agent_id in self.tabs:
+            raise RuntimeError(f"agent {agent_id} already attached")
+        self.tabs[agent_id] = 1
+        self.accountant.charge("browser", TAB_RENDERER_MB * MB)
+
+    def detach(self, agent_id: int) -> None:
+        tabs = self.tabs.pop(agent_id, 0)
+        if tabs:
+            self.accountant.charge("browser", -tabs * TAB_RENDERER_MB * MB)
+
+    def open_tab(self, agent_id: int) -> None:
+        if agent_id not in self.tabs:
+            raise KeyError(f"agent {agent_id} not attached")
+        self.tabs[agent_id] += 1
+        self.accountant.charge("browser", TAB_RENDERER_MB * MB)
+
+    def close(self) -> None:
+        if not self.alive:
+            return
+        total_tabs = sum(self.tabs.values())
+        self.accountant.charge(
+            "browser", -(BROWSER_BASE_MB + total_tabs * TAB_RENDERER_MB) * MB)
+        self.tabs.clear()
+        self.alive = False
+
+    @property
+    def memory_bytes(self) -> int:
+        if not self.alive:
+            return 0
+        return (BROWSER_BASE_MB + sum(self.tabs.values()) * TAB_RENDERER_MB) * MB
+
+
+class BrowserPool:
+    """Shared browsers: agents attach to the least-loaded instance.
+
+    With ``sharing=False`` every ``acquire`` launches a dedicated
+    browser (the baseline behaviour); with sharing, up to ``max_agents``
+    agents multiplex one instance (§6.2: "we allow multiple agents (e.g.
+    10) to concurrently share a single browser instance").
+    """
+
+    def __init__(self, sim: Simulator, accountant: MemoryAccountant,
+                 latency: Optional[LatencyModel] = None,
+                 sharing: bool = True, max_agents: int = 10):
+        self.sim = sim
+        self.accountant = accountant
+        self.latency = latency or LatencyModel()
+        self.sharing = sharing
+        self.max_agents = max_agents
+        self.browsers: List[Browser] = []
+        # Slots reserve capacity *synchronously*, so agents arriving
+        # while a shared browser is still launching wait for it instead
+        # of launching their own.
+        self._slots: List[dict] = []
+        self.launches = 0
+        self.attaches = 0
+
+    def acquire(self, agent_id: int) -> Generator:
+        """Timed: get browser access for an agent; returns the Browser."""
+        lat = self.latency.agent
+        if self.sharing:
+            for slot in self._slots:
+                if slot["count"] < self.max_agents:
+                    slot["count"] += 1
+                    if slot["browser"] is None:
+                        yield slot["ready"]          # launch in progress
+                    yield Delay(lat.browser_shared_attach)
+                    slot["browser"].attach(agent_id)
+                    self.attaches += 1
+                    return slot["browser"]
+        slot = {"count": 1, "browser": None, "ready": self.sim.event()}
+        if self.sharing:
+            self._slots.append(slot)
+        yield Delay(lat.browser_launch)
+        browser = Browser(self.accountant,
+                          max_agents=self.max_agents if self.sharing else 1)
+        slot["browser"] = browser
+        slot["ready"].trigger(browser)
+        browser.attach(agent_id)
+        self.browsers.append(browser)
+        self.launches += 1
+        return browser
+
+    def release(self, browser: Browser, agent_id: int) -> None:
+        browser.detach(agent_id)
+        for slot in self._slots:
+            if slot["browser"] is browser:
+                slot["count"] -= 1
+                break
+        if browser.agent_count == 0:
+            browser.close()
+            self.browsers.remove(browser)
+            self._slots = [s for s in self._slots
+                           if s["browser"] is not browser]
+
+    def cpu_multiplier(self) -> float:
+        """Scale an agent's browser CPU under the current mode."""
+        return (1.0 - SHARED_CPU_DISCOUNT) if self.sharing else 1.0
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(b.memory_bytes for b in self.browsers)

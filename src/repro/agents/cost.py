@@ -1,0 +1,79 @@
+"""The §2.3 cost model: LLM token billing vs serverless GB-seconds.
+
+Equation 1:  C_LLM = L_in × P_in + L_out × P_out
+Equation 2:  C_s   = T × P_s × M
+
+AWS Lambda bills $1.67e-8 per millisecond per GB (§2.3), i.e.
+$1.667e-5 per GB-second, on the *allocated* memory size (128 MB
+granularity).  Token prices default to an efficient 2025-generation model
+tier; they are configurable because the paper's headline ratio ("up to
+~70% of the LLM cost", Figure 3) moves with the assumed token price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.agents.spec import AGENTS, AgentSpec
+from repro.mem.layout import MB
+
+#: AWS Lambda: $1.67e-8 / ms / GB  =>  per second per GB.
+LAMBDA_PRICE_PER_GB_S = 1.67e-8 * 1000.0
+
+#: Lambda memory allocation granularity.
+ALLOC_GRANULARITY = 128 * MB
+
+
+@dataclass(frozen=True)
+class PriceConfig:
+    """Billing rates (USD)."""
+
+    input_per_mtok: float = 0.15     # per million input tokens
+    output_per_mtok: float = 0.60    # per million output tokens
+    serverless_per_gb_s: float = LAMBDA_PRICE_PER_GB_S
+
+
+def llm_cost(spec: AgentSpec, prices: PriceConfig = PriceConfig()) -> float:
+    """Equation 1 over the agent's Table 3 token counts."""
+    return (spec.input_tokens * prices.input_per_mtok
+            + spec.output_tokens * prices.output_per_mtok) / 1e6
+
+
+def billed_memory_bytes(mem_bytes: int) -> int:
+    """Round measured memory up to the allocation granularity."""
+    if mem_bytes <= 0:
+        raise ValueError(f"non-positive memory: {mem_bytes}")
+    units = (mem_bytes + ALLOC_GRANULARITY - 1) // ALLOC_GRANULARITY
+    return units * ALLOC_GRANULARITY
+
+
+def serverless_cost(spec: AgentSpec,
+                    prices: PriceConfig = PriceConfig(),
+                    duration: float = None,
+                    mem_bytes: int = None) -> float:
+    """Equation 2: duration × price × allocated GB."""
+    t = spec.e2e_target if duration is None else duration
+    m = billed_memory_bytes(spec.mem_bytes if mem_bytes is None
+                            else mem_bytes)
+    return t * prices.serverless_per_gb_s * (m / (1 << 30))
+
+
+def relative_cost(spec: AgentSpec,
+                  prices: PriceConfig = PriceConfig()) -> float:
+    """Figure 3: C_s / C_LLM."""
+    return serverless_cost(spec, prices) / llm_cost(spec, prices)
+
+
+def cost_table(prices: PriceConfig = PriceConfig()) -> Dict[str, Dict[str, float]]:
+    """Per-agent LLM cost, serverless cost, and ratio (Figure 3 data)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for spec in AGENTS:
+        c_llm = llm_cost(spec, prices)
+        c_s = serverless_cost(spec, prices)
+        out[spec.name] = {
+            "llm_usd": c_llm,
+            "serverless_usd": c_s,
+            "relative": c_s / c_llm,
+        }
+    return out

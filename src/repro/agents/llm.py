@@ -1,0 +1,138 @@
+"""Deterministic LLM trace replay (§9.6 methodology).
+
+Agent executions are non-deterministic because LLM outputs and inference
+latency vary.  The paper fixes this by recording real runs and replaying
+them from a simulated inference server.  We synthesise the recorded trace
+from each agent's Table 2/3 totals: context grows across calls (ReAct
+agents resend history), output splits near-evenly, and per-call latency
+follows a time-to-first-token plus per-output-token decode model scaled
+so the total matches the agent's measured LLM wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Tuple
+
+from repro.agents.spec import AgentSpec
+from repro.sim.engine import Delay
+
+#: Baseline time-to-first-token per call (queueing + prefill).
+TTFT = 0.35
+
+
+@dataclass(frozen=True)
+class LLMCall:
+    """One recorded LLM API call."""
+
+    index: int
+    input_tokens: int
+    output_tokens: int
+    latency: float
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError("negative latency")
+
+
+class LLMTrace:
+    """The recorded call sequence of one agent run."""
+
+    def __init__(self, calls: List[LLMCall]):
+        self.calls = calls
+
+    @property
+    def total_input_tokens(self) -> int:
+        return sum(c.input_tokens for c in self.calls)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(c.output_tokens for c in self.calls)
+
+    @property
+    def total_latency(self) -> float:
+        return sum(c.latency for c in self.calls)
+
+    @classmethod
+    def from_spec(cls, spec: AgentSpec) -> "LLMTrace":
+        """Synthesise the recorded trace from the agent's totals.
+
+        Latencies are calibrated so the *workflow's critical path* of
+        LLM time equals the measured LLM wait: for linear workflows
+        (static/ReAct) that is the plain sum; for map-reduce (Fig 2b)
+        the parallel map calls overlap, so only plan + slowest map +
+        reduce lie on the path.
+        """
+        n = spec.n_llm_calls
+        # Growing context: call i carries weight (i+1); sums to n(n+1)/2.
+        weight_sum = n * (n + 1) // 2
+        inputs = [max(1, round(spec.input_tokens * (i + 1) / weight_sum))
+                  for i in range(n)]
+        inputs[-1] += spec.input_tokens - sum(inputs)
+        outputs = [spec.output_tokens // n] * n
+        outputs[-1] += spec.output_tokens - sum(outputs)
+        budget = spec.llm_wait
+        if spec.workflow == "mapreduce" and n >= 3:
+            # Critical path: call 0 + slowest map + final reduce.
+            path_out = outputs[0] + max(outputs[1:-1]) + outputs[-1]
+            path_base = TTFT * 3
+        else:
+            path_out = max(1, spec.output_tokens)
+            path_base = TTFT * n
+        alpha = max(0.0, (budget - path_base)) / max(1, path_out)
+        calls = []
+        for i in range(n):
+            latency = TTFT + alpha * outputs[i]
+            calls.append(LLMCall(i, inputs[i], max(0, outputs[i]), latency))
+        # Exact correction so the critical path hits the budget.
+        if spec.workflow == "mapreduce" and n >= 3:
+            path = (calls[0].latency + max(c.latency for c in calls[1:-1])
+                    + calls[-1].latency)
+        else:
+            path = sum(c.latency for c in calls)
+        drift = budget - path
+        last = calls[-1]
+        calls[-1] = LLMCall(last.index, last.input_tokens,
+                            last.output_tokens,
+                            max(0.0, last.latency + drift))
+        return cls(calls)
+
+    def critical_path_latency(self, workflow: str = "static") -> float:
+        """LLM time along the workflow's critical path."""
+        n = len(self.calls)
+        if workflow == "mapreduce" and n >= 3:
+            return (self.calls[0].latency
+                    + max(c.latency for c in self.calls[1:-1])
+                    + self.calls[-1].latency)
+        return self.total_latency
+
+
+class ReplayLLMServer:
+    """Serves recorded responses with the recorded latency."""
+
+    def __init__(self):
+        self._traces: Dict[str, LLMTrace] = {}
+        self.calls_served = 0
+        self.tokens_in = 0
+        self.tokens_out = 0
+
+    def load_trace(self, spec: AgentSpec) -> LLMTrace:
+        trace = self._traces.get(spec.name)
+        if trace is None:
+            trace = LLMTrace.from_spec(spec)
+            self._traces[spec.name] = trace
+        return trace
+
+    def call(self, spec: AgentSpec, index: int) -> Generator:
+        """Timed: replay call ``index`` of the agent's trace."""
+        trace = self.load_trace(spec)
+        if not 0 <= index < len(trace.calls):
+            raise IndexError(
+                f"{spec.name}: call {index} beyond trace "
+                f"({len(trace.calls)} calls)")
+        call = trace.calls[index]
+        yield Delay(call.latency)
+        self.calls_served += 1
+        self.tokens_in += call.input_tokens
+        self.tokens_out += call.output_tokens
+        return call

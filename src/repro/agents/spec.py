@@ -1,0 +1,119 @@
+"""The representative agents of Table 2 / Table 3.
+
+Each spec captures what the paper measured on Firecracker: end-to-end
+latency, dynamic memory, CPU time, and token usage — plus derived
+workflow structure (number of LLM calls, browser usage) used by the
+runner to synthesise a deterministic execution trace whose totals match
+the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.mem.layout import GB, MB
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """One agent application (Table 2 row + Table 3 row)."""
+
+    name: str
+    framework: str
+    description: str
+    e2e_target: float           # seconds, measured on Firecracker (Table 2)
+    mem_bytes: int              # dynamic memory (Table 2)
+    cpu_time: float             # active CPU seconds (Table 2)
+    input_tokens: int           # Table 3
+    output_tokens: int          # Table 3
+    n_llm_calls: int            # workflow structure (Fig 2)
+    uses_browser: bool = False
+    browser_cpu: float = 0.0    # of cpu_time, seconds spent in the browser
+    file_io_bytes: int = 30 * MB   # guest file reads (page-cache pressure)
+    workflow: str = "static"    # "static" | "mapreduce" | "react" (Fig 2)
+    vm_mem_bytes: int = 2 * GB  # §9.6 configuration
+
+    @property
+    def own_cpu(self) -> float:
+        """CPU seconds outside the browser."""
+        return self.cpu_time - self.browser_cpu
+
+    @property
+    def llm_wait(self) -> float:
+        """Total time blocked on LLM responses (the idle majority)."""
+        wait = self.e2e_target - self.cpu_time
+        if wait <= 0:
+            raise AssertionError(f"{self.name}: CPU time exceeds E2E target")
+        return wait
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of wall time the agent actually computes (§2.4)."""
+        return self.cpu_time / self.e2e_target
+
+    @property
+    def is_lightweight(self) -> bool:
+        """§2.1 taxonomy: minimal tools, low memory, short runs."""
+        return not self.uses_browser
+
+
+AGENTS: Tuple[AgentSpec, ...] = (
+    AgentSpec(
+        name="blackjack", framework="LangChain",
+        description="Play the Blackjack game",
+        e2e_target=3.2, mem_bytes=74 * MB, cpu_time=0.411,
+        input_tokens=1690, output_tokens=8, n_llm_calls=3,
+        file_io_bytes=25 * MB, workflow="static"),
+    AgentSpec(
+        name="bug-fixer", framework="LangChain",
+        description="Fix the bugs in given code",
+        e2e_target=36.5, mem_bytes=95 * MB, cpu_time=0.809,
+        input_tokens=1557, output_tokens=530, n_llm_calls=2,
+        file_io_bytes=40 * MB, workflow="static"),
+    AgentSpec(
+        name="map-reduce", framework="LangChain",
+        description="Split and summarise a document",
+        e2e_target=56.5, mem_bytes=199 * MB, cpu_time=1.2,
+        input_tokens=8640, output_tokens=2644, n_llm_calls=8,
+        file_io_bytes=120 * MB, workflow="mapreduce"),
+    AgentSpec(
+        name="shop-assistant", framework="Browser-Use",
+        description="Select the ideal products on a website",
+        e2e_target=140.7, mem_bytes=1080 * MB, cpu_time=10.3,
+        input_tokens=43185, output_tokens=1494, n_llm_calls=24,
+        uses_browser=True, browser_cpu=7.8,
+        file_io_bytes=400 * MB, workflow="react", vm_mem_bytes=4 * GB),
+    AgentSpec(
+        name="blog-summary", framework="OWL",
+        description="Collect and summarise blogs",
+        e2e_target=193.1, mem_bytes=1246 * MB, cpu_time=56.8,
+        input_tokens=49398, output_tokens=2703, n_llm_calls=30,
+        uses_browser=True, browser_cpu=48.0,
+        file_io_bytes=500 * MB, workflow="react", vm_mem_bytes=4 * GB),
+    AgentSpec(
+        name="game-design", framework="OpenManus",
+        description="Implement an HTML-based game",
+        e2e_target=107.0, mem_bytes=1389 * MB, cpu_time=7.5,
+        input_tokens=75121, output_tokens=2098, n_llm_calls=20,
+        uses_browser=True, browser_cpu=1.6,
+        file_io_bytes=450 * MB, workflow="react", vm_mem_bytes=4 * GB),
+)
+
+_BY_NAME: Dict[str, AgentSpec] = {a.name: a for a in AGENTS}
+
+
+def agent_by_name(name: str) -> AgentSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown agent {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def lightweight_agents() -> Tuple[AgentSpec, ...]:
+    return tuple(a for a in AGENTS if a.is_lightweight)
+
+
+def browser_agents() -> Tuple[AgentSpec, ...]:
+    return tuple(a for a in AGENTS if a.uses_browser)

@@ -1,0 +1,21 @@
+"""Benchmark harness: one experiment per paper table/figure.
+
+Each ``run_*`` function reproduces the data behind one table or figure
+and returns a plain dict (rows/series) that the ``benchmarks/`` suite
+prints and asserts shape properties on.  ``scale`` parameters shrink
+workloads for CI; the paper-scale defaults are documented per function.
+"""
+
+from repro.bench.harness import (format_table, make_platform,
+                                 PLATFORM_NAMES, run_platform_workload)
+from repro.bench import experiments_container as container
+from repro.bench import experiments_agents as agents
+
+__all__ = [
+    "PLATFORM_NAMES",
+    "agents",
+    "container",
+    "format_table",
+    "make_platform",
+    "run_platform_workload",
+]

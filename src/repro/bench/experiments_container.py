@@ -1,0 +1,389 @@
+"""Container-side experiments: Table 1, Figures 4, 10, 17–22."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.container.rootfs import FunctionOverlayPool, RootfsBuilder
+from repro.container.runtime import ContainerRuntime
+from repro.core.config import TrEnvConfig
+from repro.core.mm_template import MMTemplateRegistry, build_template_for_function
+from repro.criu.images import SnapshotImage
+from repro.bench.harness import make_platform, run_platform_workload
+from repro.kernel.mounts import MountTable
+from repro.mem.address_space import AddressSpace
+from repro.mem.layout import GB
+from repro.mem.pools import CXLPool, DedupStore
+from repro.node import Node
+from repro.serverless.runner import run_workload
+from repro.sim.engine import Delay
+from repro.sim.rng import SeededRNG
+from repro.workloads.azure import make_azure_workload
+from repro.workloads.functions import FUNCTIONS, function_by_name
+from repro.workloads.huawei import make_huawei_workload
+from repro.workloads.synthetic import make_w1_bursty, make_w2_diurnal
+
+
+# ---------------------------------------------------------------- Table 1 --
+
+def run_table1_components() -> Dict[str, Dict[str, float]]:
+    """Per-component sandbox creation cost vs TrEnv's solution."""
+    out: Dict[str, Dict[str, float]] = {}
+
+    # Network namespace: alone, and at 15-way concurrency (§3.3).
+    node = Node()
+    t = node.sim.run_process(node.namespaces.create_netns())
+    single = node.sim.now
+    node2 = Node()
+    finishes = []
+
+    def one():
+        yield node2.namespaces.create_netns()
+        finishes.append(node2.sim.now)
+
+    for _ in range(15):
+        node2.sim.spawn(one())
+    node2.sim.run()
+    out["network"] = {"create_single": single,
+                      "create_15way": max(finishes),
+                      "trenv_reuse": 0.0}
+
+    # Rootfs: cold build vs TrEnv reconfiguration.
+    node = Node()
+    builder = RootfsBuilder(node.sim, node.latency)
+    table = MountTable(node.sim, node.latency)
+
+    def cold():
+        yield builder.build_cold(table, "JS")
+        return node.sim.now
+
+    cold_t = node.sim.run_process(cold())
+    pool = FunctionOverlayPool(node.sim, node.latency)
+    pool.prewarm("DH")
+
+    def reconfig():
+        start = node.sim.now
+        ov = yield pool.acquire("DH")
+        yield builder.swap_function_overlay(table, ov)
+        return node.sim.now - start
+
+    reconfig_t = node.sim.run_process(reconfig())
+    out["rootfs"] = {"create": cold_t, "trenv_reconfig": reconfig_t}
+
+    # Cgroup: create, migrate, clone_into, reconfigure.
+    node = Node()
+
+    def cgroup_ops():
+        t0 = node.sim.now
+        cg = yield node.cgroups.create("bench")
+        create = node.sim.now - t0
+        t0 = node.sim.now
+        yield node.cgroups.migrate(1, cg)
+        migrate = node.sim.now - t0
+        t0 = node.sim.now
+        yield node.cgroups.clone_into(2, cg)
+        clone = node.sim.now - t0
+        t0 = node.sim.now
+        from repro.kernel.cgroup import CgroupLimits
+        yield node.cgroups.reconfigure(cg, CgroupLimits())
+        reconf = node.sim.now - t0
+        return create, migrate, clone, reconf
+
+    create, migrate, clone, reconf = node.sim.run_process(cgroup_ops())
+    out["cgroup"] = {"create": create, "migrate": migrate,
+                     "trenv_clone_into": clone, "trenv_reconfigure": reconf}
+
+    # Other namespaces: <1 ms.
+    node = Node()
+    node.sim.run_process(node.namespaces.create_light_set())
+    out["other_ns"] = {"create": node.sim.now}
+
+    # Process memory: copy restore vs mmt_attach (JS, 95 MB).
+    profile = function_by_name("JS")
+    image = SnapshotImage.from_profile(profile)
+    node = Node()
+
+    def copy_restore():
+        yield node.criu.restore_full(image)
+        return node.sim.now
+
+    copy_t = node.sim.run_process(copy_restore())
+    node2 = Node()
+    registry = MMTemplateRegistry(node2.sim, node2.latency)
+    store = DedupStore(CXLPool(8 * GB, node2.latency))
+    template = build_template_for_function(registry, image, store)
+
+    def attach():
+        space = AddressSpace("bench")
+        t0 = node2.sim.now
+        yield registry.mmt_attach(template, space)
+        return node2.sim.now - t0
+
+    attach_t = node2.sim.run_process(attach())
+    out["process_memory"] = {"criu_copy": copy_t, "trenv_mmt_attach": attach_t}
+
+    # Other process state (threads/fds): handled by CRIU either way.
+    lat = node.latency.proc
+    misc = (lat.criu_misc_base + lat.criu_misc_per_thread * profile.n_threads
+            + lat.criu_misc_per_fd * profile.n_fds)
+    out["process_other"] = {"criu_misc": misc}
+    return out
+
+
+# ---------------------------------------------------------------- Figure 4 --
+
+def run_fig4_breakdown() -> Dict[str, Dict[str, float]]:
+    """Cold-start vs CRIU latency breakdown for a Python function (JS)."""
+    profile = function_by_name("JS")
+    out: Dict[str, Dict[str, float]] = {}
+
+    # Cold start path, component by component.
+    node = Node()
+    runtime = ContainerRuntime(node)
+
+    def cold():
+        t0 = node.sim.now
+        sb = yield runtime.create_sandbox_cold(profile.name)
+        sandbox_t = node.sim.now - t0
+        t0 = node.sim.now
+        yield runtime.bootstrap_function(sb, profile)
+        bootstrap_t = node.sim.now - t0
+        return sandbox_t, bootstrap_t
+
+    sandbox_t, bootstrap_t = node.sim.run_process(cold())
+    out["cold_start"] = {"sandbox": sandbox_t, "bootstrap": bootstrap_t,
+                         "total": sandbox_t + bootstrap_t}
+
+    # CRIU restore path.
+    node = Node()
+    runtime = ContainerRuntime(node)
+    image = SnapshotImage.from_profile(profile)
+
+    def criu():
+        t0 = node.sim.now
+        sb = yield runtime.create_sandbox_cold(profile.name)
+        sandbox_t = node.sim.now - t0
+        t0 = node.sim.now
+        yield Delay(node.latency.mem.mmap_syscall * len(image.vmas))
+        yield Delay(node.latency.memory_copy(image.nbytes))
+        mem_t = node.sim.now - t0
+        t0 = node.sim.now
+        proc = yield node.procs.spawn(profile.name)
+        yield node.criu.restore_process_state(proc, image)
+        other_t = node.sim.now - t0
+        return sandbox_t, mem_t, other_t
+
+    sandbox_t, mem_t, other_t = node.sim.run_process(criu())
+    out["criu"] = {"sandbox": sandbox_t, "mem": mem_t, "other": other_t,
+                   "total": sandbox_t + mem_t + other_t}
+
+    # TrEnv repurpose path for contrast.
+    result = run_fig21_ablation(functions=("JS",))
+    out["trenv"] = {"total": result["JS"]["mm-template"]["startup"]}
+    return out
+
+
+# ---------------------------------------------------------------- Figure 10 --
+
+def run_fig10_readonly(seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Read-only vs written page ratio per function after one invocation."""
+    rng = SeededRNG(seed, "fig10")
+    out: Dict[str, Dict[str, float]] = {}
+    for profile in FUNCTIONS:
+        trace = profile.make_trace(rng, invocation=0)
+        touched = trace.touched_pages
+        written = trace.distinct_writes
+        out[profile.name] = {
+            "touched_pages": touched,
+            "written_pages": written,
+            "read_only_ratio": 1.0 - written / touched,
+        }
+    return out
+
+
+# ------------------------------------------------------- Figures 17 + 18a --
+
+def run_fig17_fig18(workload_name: str = "W1", seed: int = 1,
+                    duration: float = 1500.0, burst_size: int = 10,
+                    platforms: Sequence[str] = ("faasd", "criu", "reap+",
+                                                "faasnap+", "t-cxl",
+                                                "t-rdma")) -> Dict:
+    """E2E latency CDFs and peak memory for one synthetic workload."""
+    makers = {
+        "W1": lambda: make_w1_bursty(seed=seed, duration=duration,
+                                     burst_size=burst_size),
+        # W2's tight memory cap is scaled with the workload so the
+        # eviction pressure of the paper's 32 GB / 4k-invocation setup is
+        # preserved at bench scale.
+        "W2": lambda: make_w2_diurnal(seed=seed, duration=duration,
+                                      mean_rate=1.6,
+                                      soft_cap_bytes=5 * GB),
+    }
+    out: Dict = {"workload": workload_name, "platforms": {}}
+    for name in platforms:
+        result = run_platform_workload(name, makers[workload_name](),
+                                       seed=seed)
+        rec = result.recorder
+        out["platforms"][name] = {
+            "p50_ms": rec.e2e_percentile(50) * 1e3,
+            "p99_ms": rec.e2e_percentile(99) * 1e3,
+            "peak_memory_mb": result.peak_memory_mb,
+            "per_function": rec.summary(),
+            "cdf": rec.cdf(),
+            "start_kinds": rec.start_kind_counts(),
+        }
+    return out
+
+
+# ---------------------------------------------------------------- Fig 18b --
+
+def run_fig18b_scaling(function: str = "IR", instances: int = 50,
+                       platforms: Sequence[str] = ("reap+", "faasnap+",
+                                                   "t-cxl", "t-rdma"),
+                       seed: int = 1) -> Dict[str, float]:
+    """Memory after starting N concurrent instances of one function."""
+    out: Dict[str, float] = {}
+    for name in platforms:
+        platform = make_platform(name, seed=seed)
+        platform.register_function(function_by_name(function))
+        node = platform.node
+
+        def one():
+            yield platform.invoke(function)
+
+        for _ in range(instances):
+            node.sim.spawn(one())
+        node.sim.run()
+        out[name] = node.memory.peak_bytes / (1 << 20)
+    return out
+
+
+# ---------------------------------------------------------------- Figure 19 --
+
+def run_fig19_noconc(platforms: Sequence[str] = ("criu", "reap+", "faasnap+",
+                                                 "t-cxl", "t-rdma"),
+                     seed: int = 1,
+                     functions: Optional[Sequence[str]] = None) -> Dict:
+    """Uncontended E2E latency, split into startup (hatched) and exec."""
+    functions = functions or [f.name for f in FUNCTIONS]
+    out: Dict = {}
+    for fn in functions:
+        out[fn] = {}
+        for name in platforms:
+            platform = make_platform(name, seed=seed)
+            platform.register_function(function_by_name(fn))
+
+            def driver():
+                # Prime once, then measure a steady-state start past the
+                # keep-alive window (the paper measures after warm-up).
+                yield platform.invoke(fn)
+                yield Delay(platform.keep_alive * 1.2)
+                r = yield platform.invoke(fn)
+                return r
+
+            r = platform.node.sim.run_process(driver())
+            out[fn][name] = {"startup": r.startup, "exec": r.exec,
+                             "e2e": r.e2e, "kind": r.start_kind}
+    return out
+
+
+# ---------------------------------------------------------------- Figure 20 --
+
+def run_fig20_traces(trace: str = "azure", seed: int = 1,
+                     duration: float = 1500.0,
+                     platforms: Sequence[str] = ("reap+", "faasnap+",
+                                                 "t-cxl", "t-rdma")) -> Dict:
+    """P99 E2E per function for industry traces, normalised to REAP+."""
+    makers = {"azure": make_azure_workload, "huawei": make_huawei_workload}
+    out: Dict = {"trace": trace, "platforms": {}, "normalized": {}}
+    per_platform: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in platforms:
+        result = run_platform_workload(name, makers[trace](seed=seed,
+                                                           duration=duration),
+                                       seed=seed)
+        rec = result.recorder
+        per_fn = {}
+        for fn in rec.functions():
+            per_fn[fn] = {
+                "p99_e2e": rec.e2e_percentile(99, fn),
+                "p99_startup": rec.startup_percentile(99, fn),
+            }
+        per_platform[name] = per_fn
+        out["platforms"][name] = {
+            "peak_memory_mb": result.peak_memory_mb,
+            "per_function": per_fn,
+            "cpu_utilization": result.cpu_utilization,
+        }
+    base = per_platform.get("reap+", {})
+    for name, per_fn in per_platform.items():
+        out["normalized"][name] = {
+            fn: per_fn[fn]["p99_e2e"] / base[fn]["p99_e2e"]
+            for fn in per_fn if fn in base and base[fn]["p99_e2e"] > 0}
+    return out
+
+
+# ---------------------------------------------------------------- Figure 21 --
+
+def run_fig21_ablation(functions: Sequence[str] = ("IR", "JS"),
+                       seed: int = 1) -> Dict:
+    """Stepwise optimisation ladder: CRIU -> Reconfig -> Cgroup -> full."""
+    out: Dict = {}
+    for fn in functions:
+        out[fn] = {}
+        for label, config in TrEnvConfig.ablation_steps():
+            platform = make_platform("t-cxl", seed=seed, config=config)
+            platform.register_function(function_by_name(fn))
+            node = platform.node
+
+            def driver():
+                # Prime a sandbox so the repurposing path is exercised,
+                # then measure a start past the keep-alive window.
+                yield platform.invoke(fn)
+                yield Delay(platform.keep_alive * 1.2)
+                r = yield platform.invoke(fn)
+                return r
+
+            r = node.sim.run_process(driver())
+            out[fn][label] = {"startup": r.startup, "exec": r.exec,
+                              "e2e": r.e2e, "kind": r.start_kind}
+    return out
+
+
+# ---------------------------------------------------------------- Figure 22 --
+
+def run_fig22_cxl_vs_rdma(seed: int = 1, concurrency: int = 16,
+                          rounds: int = 4,
+                          functions: Optional[Sequence[str]] = None) -> Dict:
+    """Execution latency of T-CXL vs T-RDMA under concurrent load."""
+    functions = functions or [f.name for f in FUNCTIONS]
+    out: Dict = {}
+    for fn in functions:
+        out[fn] = {}
+        for name in ("t-cxl", "t-rdma"):
+            platform = make_platform(name, seed=seed)
+            platform.register_function(function_by_name(fn))
+            node = platform.node
+            execs: List[float] = []
+
+            def one():
+                r = yield platform.invoke(fn)
+                execs.append(r.exec)
+
+            def round_driver():
+                for _ in range(rounds):
+                    waiters = [node.sim.spawn(one())
+                               for _ in range(concurrency)]
+                    yield node.sim.all_of(waiters)
+
+            node.sim.run_process(round_driver())
+            out[fn][name] = {
+                "p75_exec": float(np.percentile(execs, 75)),
+                "p99_exec": float(np.percentile(execs, 99)),
+            }
+        out[fn]["speedup_p75"] = (out[fn]["t-rdma"]["p75_exec"]
+                                  / out[fn]["t-cxl"]["p75_exec"])
+        out[fn]["speedup_p99"] = (out[fn]["t-rdma"]["p99_exec"]
+                                  / out[fn]["t-cxl"]["p99_exec"])
+    return out

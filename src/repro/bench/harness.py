@@ -1,0 +1,67 @@
+"""Shared helpers: platform construction, workload runs, table printing."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import TrEnvConfig
+from repro.core.platform import TrEnvPlatform
+from repro.mem.layout import GB
+from repro.mem.pools import CXLPool, RDMAPool, TieredPool
+from repro.node import Node
+from repro.serverless.baselines import (CRIUPlatform, FaasdPlatform,
+                                        FaasnapPlatform, ReapPlatform)
+from repro.serverless.runner import RunResult, run_workload
+from repro.workloads.synthetic import Workload
+
+#: Container-side systems of §9.2–§9.5.
+PLATFORM_NAMES = ("faasd", "criu", "reap+", "faasnap+", "t-cxl", "t-rdma")
+
+POOL_BYTES = 128 * GB
+
+
+def make_platform(name: str, seed: int = 1, cores: int = 64,
+                  config: Optional[TrEnvConfig] = None):
+    """Build a fresh node + platform by its paper name."""
+    node = Node(cores=cores, seed=seed)
+    if name == "faasd":
+        return FaasdPlatform(node)
+    if name == "criu":
+        return CRIUPlatform(node)
+    if name in ("reap", "reap+"):
+        return ReapPlatform(node, netns_pool=name.endswith("+"))
+    if name in ("faasnap", "faasnap+"):
+        return FaasnapPlatform(node, netns_pool=name.endswith("+"))
+    if name == "t-cxl":
+        pool = CXLPool(POOL_BYTES, node.latency)
+        return TrEnvPlatform(node, pool, config=config, name="t-cxl")
+    if name == "t-rdma":
+        pool = RDMAPool(POOL_BYTES, node.latency)
+        return TrEnvPlatform(node, pool, config=config, name="t-rdma")
+    if name == "t-tiered":
+        pool = TieredPool(CXLPool(POOL_BYTES // 2, node.latency),
+                          RDMAPool(POOL_BYTES // 2, node.latency),
+                          hot_fraction=0.5)
+        return TrEnvPlatform(node, pool, config=config, name="t-tiered")
+    raise ValueError(f"unknown platform {name!r}; known: {PLATFORM_NAMES}")
+
+
+def run_platform_workload(name: str, workload: Workload, seed: int = 1,
+                          config: Optional[TrEnvConfig] = None) -> RunResult:
+    platform = make_platform(name, seed=seed, config=config)
+    return run_workload(platform, workload)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], width: int = 12) -> str:
+    """Render an aligned text table for bench output."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = [title, "-" * max(len(title), width * len(headers))]
+    lines.append("".join(f"{h:>{width}}" for h in headers))
+    for row in rows:
+        lines.append("".join(f"{fmt(c):>{width}}" for c in row))
+    return "\n".join(lines)

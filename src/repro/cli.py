@@ -1,0 +1,118 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table1
+    python -m repro.cli fig21
+    python -m repro.cli fig17 --workload W2 --duration 600
+    python -m repro.cli fig24 --instances 20 --cores 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.bench import agents, container
+
+
+def _jsonable(obj):
+    """Recursively convert experiment results to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        if obj.size > 64:
+            return {"len": int(obj.size),
+                    "min": float(obj.min()) if obj.size else None,
+                    "max": float(obj.max()) if obj.size else None}
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    return obj
+
+
+def _fig17(args):
+    return container.run_fig17_fig18(args.workload, duration=args.duration)
+
+
+def _fig18b(args):
+    return {fn: container.run_fig18b_scaling(fn, instances=args.instances)
+            for fn in ("IR", "IFR")}
+
+
+def _fig20(args):
+    return container.run_fig20_traces(args.trace, duration=args.duration)
+
+
+def _fig24(args):
+    return agents.run_fig24_browser_sharing(instances=args.instances,
+                                            cores=args.cores)
+
+
+def _fig25(args):
+    return agents.run_fig25_agent_memory(instances=args.instances)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": lambda a: container.run_table1_components(),
+    "table2": lambda a: agents.run_table2_agents(),
+    "table3": lambda a: agents.run_table3_tokens(),
+    "fig3": lambda a: agents.run_fig3_cost(),
+    "fig4": lambda a: container.run_fig4_breakdown(),
+    "fig10": lambda a: container.run_fig10_readonly(),
+    "fig17": _fig17,
+    "fig18b": _fig18b,
+    "fig19": lambda a: container.run_fig19_noconc(),
+    "fig20": _fig20,
+    "fig21": lambda a: container.run_fig21_ablation(),
+    "fig22": lambda a: container.run_fig22_cxl_vs_rdma(),
+    "fig23": lambda a: agents.run_fig23_startup(),
+    "fig24": _fig24,
+    "fig25": _fig25,
+    "fig26": lambda a: agents.run_fig26_memory_timeline(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TrEnv paper experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    for name in EXPERIMENTS:
+        p = sub.add_parser(name, help=f"run the {name} experiment")
+        p.add_argument("--workload", default="W1", choices=("W1", "W2"))
+        p.add_argument("--trace", default="azure",
+                       choices=("azure", "huawei"))
+        p.add_argument("--duration", type=float, default=900.0)
+        p.add_argument("--instances", type=int, default=20)
+        p.add_argument("--cores", type=int, default=4)
+        p.add_argument("--json", action="store_true",
+                       help="emit raw JSON instead of pretty print")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    result = EXPERIMENTS[args.command](args)
+    payload = _jsonable(result)
+    if getattr(args, "json", False):
+        json.dump(payload, sys.stdout)
+        print()
+    else:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

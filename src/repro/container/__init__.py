@@ -1,0 +1,19 @@
+"""Container runtime substrate.
+
+Builds standard (Docker-grade) container sandboxes from kernel
+primitives: the cold-start path every baseline pays (Table 1, Figure 4),
+plus the per-function overlay pool that TrEnv's rootfs reconfiguration
+swaps in (§5.2.1).
+"""
+
+from repro.container.container import ContainerSandbox, SandboxState
+from repro.container.rootfs import FunctionOverlayPool, RootfsBuilder
+from repro.container.runtime import ContainerRuntime
+
+__all__ = [
+    "ContainerRuntime",
+    "ContainerSandbox",
+    "FunctionOverlayPool",
+    "RootfsBuilder",
+    "SandboxState",
+]

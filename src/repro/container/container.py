@@ -1,0 +1,89 @@
+"""The container sandbox object (Figure 5).
+
+A sandbox is the reusable shell: namespaces + rootfs (mount namespace
+with a union filesystem) + cgroup.  Processes and their memory state are
+the per-function part that TrEnv swaps in and out.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional
+
+from repro.kernel.cgroup import Cgroup
+from repro.kernel.mounts import MountTable, OverlayFS
+from repro.kernel.namespaces import MountNamespace, Namespace, NetNamespace
+from repro.kernel.process import Process
+from repro.mem.layout import MB
+
+#: Kernel-side footprint of one sandbox's isolation objects (netns
+#: conntrack tables, mount structs, cgroup controllers) — charged to the
+#: node while the sandbox exists.
+SANDBOX_KERNEL_OVERHEAD = 3 * MB
+
+
+class SandboxState(enum.Enum):
+    CREATING = "creating"
+    ACTIVE = "active"        # running a function instance
+    WARM = "warm"            # idle, memory state retained (keep-alive)
+    POOLED = "pooled"        # cleansed, in the repurposable pool
+    DESTROYED = "destroyed"
+
+
+class ContainerSandbox:
+    """One container: isolation shell plus (optionally) live processes."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, netns: NetNamespace, mntns: MountNamespace,
+                 light_ns: Dict[str, Namespace], cgroup: Cgroup,
+                 base_rootfs: OverlayFS):
+        self.sandbox_id = next(ContainerSandbox._ids)
+        self.netns = netns
+        self.mntns = mntns
+        self.light_ns = light_ns
+        self.cgroup = cgroup
+        self.base_rootfs = base_rootfs
+        self.function_overlay: Optional[OverlayFS] = None
+        self.function: Optional[str] = None
+        self.init_process: Optional[Process] = None
+        self.processes: List[Process] = []
+        self.state = SandboxState.CREATING
+        self.created_at = 0.0
+        self.last_used = 0.0
+        self.generation = 0      # bumped on every repurpose
+
+    @property
+    def mount_table(self) -> MountTable:
+        table = self.mntns.mount_table
+        if table is None:
+            raise RuntimeError("sandbox has no mount table")
+        return table
+
+    @property
+    def live_processes(self) -> List[Process]:
+        return [p for p in self.processes if p.alive]
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(p.memory_bytes for p in self.live_processes)
+
+    def leaks_previous_tenant(self) -> bool:
+        """Security check: any residual state from the last function?
+
+        True if live tenant processes remain (the namespace-anchoring
+        init is exempt), the overlay upper still holds file
+        modifications, or network connections are open (§8.1.1).
+        """
+        if any(p for p in self.live_processes if p is not self.init_process):
+            return True
+        if self.function_overlay is not None and self.function_overlay.dirty:
+            return True
+        if self.netns.leaks_execution_data:
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<sandbox #{self.sandbox_id} {self.state.value} "
+                f"fn={self.function}>")

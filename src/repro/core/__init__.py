@@ -1,0 +1,33 @@
+"""TrEnv's core contribution.
+
+* :mod:`repro.core.mm_template` — the mm-template kernel API
+  (``mmt_create``/``mmt_add_map``/``mmt_setup_pt``/``mmt_attach``,
+  Figure 11) over simulated page tables and disaggregated pools.
+* :mod:`repro.core.repurpose` — repurposable sandboxes: cleanse, pool,
+  rootfs reconfiguration, cgroup reuse (§4, §5.2).
+* :mod:`repro.core.config` — feature toggles driving the Figure 21
+  ablation.
+* :mod:`repro.core.platform` — the TrEnv container-mode serverless
+  platform; the VM-mode agent platform lives in :mod:`repro.agents`.
+"""
+
+from repro.core.config import TrEnvConfig
+from repro.core.mm_template import (
+    MMTemplateError,
+    MMTemplateRegistry,
+    MemoryTemplate,
+    build_template_for_function,
+)
+from repro.core.repurpose import RepurposableSandboxPool, Repurposer
+from repro.core.platform import TrEnvPlatform
+
+__all__ = [
+    "TrEnvPlatform",
+    "MMTemplateError",
+    "MMTemplateRegistry",
+    "MemoryTemplate",
+    "RepurposableSandboxPool",
+    "Repurposer",
+    "TrEnvConfig",
+    "build_template_for_function",
+]

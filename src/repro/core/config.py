@@ -1,0 +1,60 @@
+"""TrEnv feature configuration.
+
+Each flag corresponds to one optimisation the paper ablates in Figure 21:
+
+* ``reconfig`` — sandbox repurposing with rootfs reconfiguration
+  (the "Reconfig" step, ~200 ms saved).
+* ``clone_into_cgroup`` — CLONE_INTO_CGROUP instead of spawn-then-migrate
+  (the "Cgroup" step, 13–49 ms saved).
+* ``mm_template`` — template attach instead of full memory copy
+  (the "mm-template" step, 67–290 ms saved).
+
+VM-mode extras (§6):
+
+* ``browser_sharing`` — multiple agents share one browser (TrEnv-S).
+* ``pmem_rootfs`` — virtio-pmem base + O_DIRECT overlay instead of
+  virtio-blk (page-cache dedup, Figure 25).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TrEnvConfig:
+    reconfig: bool = True
+    clone_into_cgroup: bool = True
+    mm_template: bool = True
+    browser_sharing: bool = False
+    pmem_rootfs: bool = True
+    #: Pool backend for templates: "cxl", "rdma", or "tiered".
+    pool_backend: str = "cxl"
+    #: Max idle repurposable sandboxes kept per node.
+    sandbox_pool_limit: int = 64
+    #: Keep-alive window for warm same-function instances (seconds).
+    keep_alive: float = 600.0
+    #: Groundhog-style sequential request isolation (§10): roll the
+    #: instance's memory back to the pristine template state after every
+    #: invocation, so consecutive requests in the same warm instance
+    #: cannot observe each other.  Cheap under mm-template: drop the CoW
+    #: pages and re-attach the metadata.
+    sequential_isolation: bool = False
+
+    def with_(self, **kwargs) -> "TrEnvConfig":
+        """A copy with selected fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def ablation_steps():
+        """The Figure 21 ladder: baseline -> +Reconfig -> +Cgroup -> full."""
+        return [
+            ("CRIU", TrEnvConfig(reconfig=False, clone_into_cgroup=False,
+                                 mm_template=False)),
+            ("Reconfig", TrEnvConfig(reconfig=True, clone_into_cgroup=False,
+                                     mm_template=False)),
+            ("Cgroup", TrEnvConfig(reconfig=True, clone_into_cgroup=True,
+                                   mm_template=False)),
+            ("mm-template", TrEnvConfig(reconfig=True, clone_into_cgroup=True,
+                                        mm_template=True)),
+        ]

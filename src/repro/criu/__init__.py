@@ -1,0 +1,14 @@
+"""Checkpoint/Restore In Userspace (CRIU) engine.
+
+The preprocessing phase captures a function's post-initialisation state
+into a :class:`~repro.criu.images.SnapshotImage`; the online phase either
+restores it with the classic full-copy path (the "CRIU" baseline in every
+figure) or hands it to TrEnv's mm-template machinery
+(:mod:`repro.core.mm_template`) which replaces the copy with a metadata
+attach.
+"""
+
+from repro.criu.images import SnapshotImage, VMADescriptor
+from repro.criu.restore import CRIUEngine, RestoreStats
+
+__all__ = ["CRIUEngine", "RestoreStats", "SnapshotImage", "VMADescriptor"]

@@ -1,0 +1,31 @@
+"""Simulated Linux kernel primitives.
+
+The objects a container sandbox is made of (Table 1): namespaces,
+cgroups, mount tables with overlayfs, and processes.  All mutating
+operations are *timed*: they are simulation generators that advance the
+virtual clock by the calibrated cost of the real syscall path.
+"""
+
+from repro.kernel.namespaces import (
+    MountNamespace,
+    Namespace,
+    NamespaceManager,
+    NetNamespace,
+)
+from repro.kernel.cgroup import Cgroup, CgroupManager
+from repro.kernel.mounts import MountTable, OverlayFS, SimpleFS
+from repro.kernel.process import Process, ProcessTable
+
+__all__ = [
+    "Cgroup",
+    "CgroupManager",
+    "MountNamespace",
+    "MountTable",
+    "Namespace",
+    "NamespaceManager",
+    "NetNamespace",
+    "OverlayFS",
+    "Process",
+    "ProcessTable",
+    "SimpleFS",
+]

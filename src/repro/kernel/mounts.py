@@ -1,0 +1,160 @@
+"""Mount tables and overlay filesystems.
+
+§5.2.1: a container rootfs is a per-container mount namespace whose root
+is a union filesystem (overlayfs).  Cold start assembles it from scratch
+(>9 mounts, 6 mkdev/mknod, pivot_root); TrEnv instead *overmounts* a
+function-specific overlay atop the pooled sandbox's rootfs — two mounts
+minimum — after purging the previous instance's upper directory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.sim.engine import Delay, Simulator
+from repro.sim.latency import LatencyModel
+
+
+class SimpleFS:
+    """A kernel-provided filesystem (sysfs, procfs, devtmpfs, tmpfs)."""
+
+    def __init__(self, fstype: str):
+        self.fstype = fstype
+
+    def __repr__(self) -> str:
+        return f"<{self.fstype}>"
+
+
+class OverlayFS:
+    """Union filesystem: read-only lower layers + writable upper dir.
+
+    The upper directory records every modification (copy-on-write at file
+    granularity), which is exactly what TrEnv purges between tenants so
+    no file data leaks across a repurpose (§5.2.1 step 1, §8.1.1).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, lower_layers: Tuple[str, ...], label: str = ""):
+        if not lower_layers:
+            raise ValueError("overlayfs needs at least one lower layer")
+        self.fs_id = next(OverlayFS._ids)
+        self.lower_layers = tuple(lower_layers)
+        self.label = label or f"overlay-{self.fs_id}"
+        self.upper: Dict[str, int] = {}       # path -> size in bytes
+        self.deleted: set = set()             # whiteouts
+        self.stale_inode_cache = False
+
+    def write_file(self, path: str, nbytes: int) -> None:
+        """Copy-up semantics: any write lands in the upper dir."""
+        self.upper[path] = nbytes
+        self.deleted.discard(path)
+        self.stale_inode_cache = True
+
+    def delete_file(self, path: str) -> None:
+        """Deletion of a lower file creates a whiteout in the upper dir."""
+        self.upper.pop(path, None)
+        self.deleted.add(path)
+        self.stale_inode_cache = True
+
+    def read_visible(self, path: str) -> bool:
+        """Is ``path`` visible (not whited out)?"""
+        return path not in self.deleted
+
+    @property
+    def upper_bytes(self) -> int:
+        return sum(self.upper.values())
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.upper) or bool(self.deleted)
+
+    def purge_upper(self) -> int:
+        """Delete all upper-dir entries; returns files removed.
+
+        The caller must also remount to flush the stale inode cache
+        (modelled by :meth:`MountTable.remount`).
+        """
+        removed = len(self.upper) + len(self.deleted)
+        self.upper.clear()
+        self.deleted.clear()
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<overlayfs {self.label} lowers={self.lower_layers}>"
+
+
+class MountTable:
+    """The mount tree inside one mount namespace.
+
+    Mounting over an existing path shadows the previous filesystem (Linux
+    overmount), and unmounting reveals it again — the primitive TrEnv's
+    rootfs reconfiguration relies on (Figure 13).
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        # path -> stack of mounted filesystems (top of list is visible).
+        self._mounts: Dict[str, List[object]] = {}
+        self.device_nodes: List[str] = []
+        self.root_pivoted = False
+        self.stats: Dict[str, int] = {"mount": 0, "umount": 0, "mknod": 0,
+                                      "pivot_root": 0, "remount": 0}
+
+    # -- timed operations ---------------------------------------------------------
+
+    def mount(self, path: str, fs: object, fast: bool = False) -> Generator:
+        """Timed: attach ``fs`` at ``path`` (overmounts allowed).
+
+        ``fast=True`` uses the repurpose-path cost (pre-assembled overlay
+        from the per-function pool, §5.2.1) instead of a full mount.
+        """
+        cost = (self.latency.rootfs.reconfig_mount if fast
+                else self.latency.rootfs.mount_syscall)
+        yield Delay(cost)
+        self._mounts.setdefault(path, []).append(fs)
+        self.stats["mount"] += 1
+
+    def umount(self, path: str) -> Generator:
+        yield Delay(self.latency.rootfs.reconfig_mount)
+        stack = self._mounts.get(path)
+        if not stack:
+            raise KeyError(f"nothing mounted at {path}")
+        fs = stack.pop()
+        if not stack:
+            del self._mounts[path]
+        self.stats["umount"] += 1
+        return fs
+
+    def remount(self, path: str) -> Generator:
+        """Timed: remount to flush stale overlay inode caches."""
+        yield Delay(self.latency.rootfs.purge_upper_sync)
+        fs = self.visible(path)
+        if isinstance(fs, OverlayFS):
+            fs.stale_inode_cache = False
+        self.stats["remount"] += 1
+
+    def mknod(self, path: str) -> Generator:
+        yield Delay(self.latency.rootfs.mknod)
+        self.device_nodes.append(path)
+        self.stats["mknod"] += 1
+
+    def pivot_root(self) -> Generator:
+        yield Delay(self.latency.rootfs.pivot_root)
+        self.root_pivoted = True
+        self.stats["pivot_root"] += 1
+
+    # -- queries --------------------------------------------------------------------
+
+    def visible(self, path: str) -> Optional[object]:
+        """The filesystem currently visible at ``path`` (top of stack)."""
+        stack = self._mounts.get(path)
+        return stack[-1] if stack else None
+
+    def mounted_paths(self) -> List[str]:
+        return sorted(self._mounts)
+
+    def mount_depth(self, path: str) -> int:
+        return len(self._mounts.get(path, []))

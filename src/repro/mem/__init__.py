@@ -1,0 +1,60 @@
+"""Memory substrate.
+
+Implements the objects TrEnv's kernel patch manipulates, as real data
+structures with true semantics:
+
+* :mod:`repro.mem.layout` — page-size constants and helpers.
+* :mod:`repro.mem.address_space` — VMAs, per-page PTE states, fault
+  handling, copy-on-write.
+* :mod:`repro.mem.pools` — local DRAM, CXL, RDMA and NAS backends plus the
+  content-addressed dedup store used for consolidated snapshot images.
+* :mod:`repro.mem.trace` — statistical page-access traces that drive
+  execution (what the paper measures in Figure 10).
+* :mod:`repro.mem.page_cache` — guest/host page-cache model (§2.4, §6.3).
+* :mod:`repro.mem.accounting` — node-level memory usage sampling.
+"""
+
+from repro.mem.layout import PAGE_SIZE, pages_for_bytes
+from repro.mem.address_space import (
+    AccessOutcome,
+    AddressSpace,
+    PTE_LOCAL,
+    PTE_NONE,
+    PTE_REMOTE_INVALID,
+    PTE_REMOTE_RO,
+    VMA,
+)
+from repro.mem.pools import (
+    CXLPool,
+    DedupStore,
+    MemoryPool,
+    NASPool,
+    PoolBlock,
+    RDMAPool,
+    TieredPool,
+)
+from repro.mem.trace import AccessTrace
+from repro.mem.page_cache import PageCache
+from repro.mem.accounting import MemoryAccountant
+
+__all__ = [
+    "AccessOutcome",
+    "AccessTrace",
+    "AddressSpace",
+    "CXLPool",
+    "DedupStore",
+    "MemoryAccountant",
+    "MemoryPool",
+    "NASPool",
+    "PAGE_SIZE",
+    "PTE_LOCAL",
+    "PTE_NONE",
+    "PTE_REMOTE_INVALID",
+    "PTE_REMOTE_RO",
+    "PageCache",
+    "PoolBlock",
+    "RDMAPool",
+    "TieredPool",
+    "VMA",
+    "pages_for_bytes",
+]

@@ -1,0 +1,372 @@
+"""Address spaces with per-page PTE states and copy-on-write.
+
+This is the reproduction's analogue of ``mm_struct``: a list of VMAs, each
+holding vectorised per-page state.  The four states model exactly the
+cases TrEnv's kernel patch distinguishes (§5.1):
+
+* ``PTE_NONE`` — untouched demand-zero page (reads hit the shared zero
+  page and cost a minor fault but no memory; first write allocates).
+* ``PTE_LOCAL`` — private page in node-local DRAM.
+* ``PTE_REMOTE_RO`` — valid, write-protected PTE mapping a shared pool
+  page (the CXL path: reads need no fault at all; writes CoW to local).
+* ``PTE_REMOTE_INVALID`` — invalid PTE carrying a remote address (the
+  RDMA/NAS path: first touch takes a major fault and a 4 KiB fetch which
+  materialises a private local copy).
+
+State arrays are numpy vectors so multi-hundred-MB images (IR is 855 MB —
+219k pages) stay cheap to manipulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mem.layout import PAGE_SIZE
+from repro.mem.pools import MemoryPool, PoolBlock
+
+PTE_NONE = 0
+PTE_LOCAL = 1
+PTE_REMOTE_RO = 2
+PTE_REMOTE_INVALID = 3
+
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+PROT_EXEC = 0x4
+
+MAP_PRIVATE = 0x02
+MAP_SHARED = 0x01
+
+
+class VMA:
+    """A virtual memory area: contiguous pages with uniform protection."""
+
+    __slots__ = ("name", "start", "prot", "flags", "state", "offsets",
+                 "content", "pool")
+
+    def __init__(self, name: str, start: int, npages: int, prot: int,
+                 flags: int = MAP_PRIVATE):
+        self.name = name
+        self.start = start
+        self.prot = prot
+        self.flags = flags
+        self.state = np.zeros(npages, dtype=np.uint8)
+        # Remote page offset per page (valid where state is REMOTE_*).
+        self.offsets = np.full(npages, -1, dtype=np.int64)
+        # Page content ids (for snapshotting/dedup); -1 = undefined.
+        self.content = np.full(npages, -1, dtype=np.int64)
+        self.pool: Optional[MemoryPool] = None
+
+    @property
+    def npages(self) -> int:
+        return len(self.state)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.npages * PAGE_SIZE
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.prot & PROT_WRITE)
+
+    def grow(self, npages: int) -> None:
+        """Extend the VMA (heap ``brk``); new pages are demand-zero local.
+
+        §5.1 / Figure 9(b): after restoring a heap onto CXL, subsequent
+        growth defaults to local allocation, never spilling into adjacent
+        shared CXL ranges.
+        """
+        if npages <= 0:
+            return
+        self.state = np.concatenate(
+            [self.state, np.zeros(npages, dtype=np.uint8)])
+        self.offsets = np.concatenate(
+            [self.offsets, np.full(npages, -1, dtype=np.int64)])
+        self.content = np.concatenate(
+            [self.content, np.full(npages, -1, dtype=np.int64)])
+
+    def clone_metadata(self) -> "VMA":
+        """Duplicate PTE metadata only (what ``mmt_attach`` copies)."""
+        out = VMA(self.name, self.start, 0, self.prot, self.flags)
+        out.state = self.state.copy()
+        out.offsets = self.offsets.copy()
+        out.content = self.content.copy()
+        out.pool = self.pool
+        return out
+
+
+@dataclass
+class AccessOutcome:
+    """Counts produced by driving an access trace through an address space."""
+
+    minor_faults: int = 0
+    major_faults: int = 0          # remote fetches (RDMA/NAS/tmpfs)
+    cow_faults: int = 0
+    pages_fetched: int = 0         # pages pulled from a non-addressable pool
+    local_pages_allocated: int = 0
+    remote_loads: int = 0          # cache-missing loads served from CXL
+    fetch_pools: Dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "AccessOutcome") -> None:
+        self.minor_faults += other.minor_faults
+        self.major_faults += other.major_faults
+        self.cow_faults += other.cow_faults
+        self.pages_fetched += other.pages_fetched
+        self.local_pages_allocated += other.local_pages_allocated
+        self.remote_loads += other.remote_loads
+        for pool, pages in other.fetch_pools.items():
+            self.fetch_pools[pool] = self.fetch_pools.get(pool, 0) + pages
+
+
+class AddressSpace:
+    """A process address space: ordered VMAs + fault handling.
+
+    ``on_local_delta`` is invoked with the change in locally-resident page
+    count whenever pages are allocated or freed, so a node-level accountant
+    can track memory usage event-by-event.
+    """
+
+    def __init__(self, name: str = "",
+                 on_local_delta: Optional[Callable[[int], None]] = None):
+        self.name = name
+        self.vmas: List[VMA] = []
+        self.local_pages = 0
+        self.on_local_delta = on_local_delta
+        self._cum: Optional[np.ndarray] = None
+        self.destroyed = False
+
+    # -- layout management -------------------------------------------------------
+
+    def add_vma(self, name: str, npages: int, prot: int = PROT_READ | PROT_WRITE,
+                flags: int = MAP_PRIVATE, start: Optional[int] = None) -> VMA:
+        if npages <= 0:
+            raise ValueError(f"VMA must have at least one page: {npages}")
+        if start is None:
+            start = self.vmas[-1].end + PAGE_SIZE if self.vmas else 0x400000
+        vma = VMA(name, start, npages, prot, flags)
+        self.vmas.append(vma)
+        self._cum = None
+        return vma
+
+    def adopt_vma(self, vma: VMA) -> VMA:
+        """Install an externally built VMA (e.g. cloned template metadata).
+
+        Charges any locally-resident pages the clone carries (normally
+        none: templates hold only remote-backed or empty PTEs).
+        """
+        self.vmas.append(vma)
+        self._cum = None
+        resident = int(np.count_nonzero(vma.state == PTE_LOCAL))
+        self._charge(resident)
+        return vma
+
+    def find_vma(self, name: str) -> VMA:
+        for vma in self.vmas:
+            if vma.name == name:
+                return vma
+        raise KeyError(f"no VMA named {name!r} in {self.name}")
+
+    @property
+    def total_pages(self) -> int:
+        return sum(v.npages for v in self.vmas)
+
+    @property
+    def local_bytes(self) -> int:
+        return self.local_pages * PAGE_SIZE
+
+    def grow_vma(self, name: str, npages: int) -> None:
+        self.find_vma(name).grow(npages)
+        self._cum = None
+
+    # -- population ---------------------------------------------------------------
+
+    def populate_local(self, vma: VMA, content_base: int = 0) -> None:
+        """Materialise every page of ``vma`` as private local memory."""
+        fresh = int(np.count_nonzero(vma.state != PTE_LOCAL))
+        vma.state[:] = PTE_LOCAL
+        missing = vma.content == -1
+        if missing.any():
+            idx = np.nonzero(missing)[0]
+            vma.content[idx] = content_base + idx
+        self._charge(fresh)
+
+    def bind_remote(self, vma: VMA, block: PoolBlock, valid) -> None:
+        """Point ``vma`` pages at a pool block.
+
+        ``valid`` is a bool or a per-page boolean mask: valid pages get
+        write-protected direct-map PTEs (CXL, ``mmt_setup_pt(..., CXL)``);
+        the rest get invalid PTEs holding the remote address (RDMA lazy
+        path / a tiered pool's cold pages).
+        """
+        if block.npages != vma.npages:
+            raise ValueError(
+                f"block/vma size mismatch: {block.npages} != {vma.npages}")
+        freed = int(np.count_nonzero(vma.state == PTE_LOCAL))
+        if isinstance(valid, bool):
+            vma.state[:] = PTE_REMOTE_RO if valid else PTE_REMOTE_INVALID
+        else:
+            mask = np.asarray(valid, dtype=bool)
+            if len(mask) != vma.npages:
+                raise ValueError("valid mask length mismatch")
+            vma.state[:] = np.where(mask, PTE_REMOTE_RO,
+                                    PTE_REMOTE_INVALID).astype(np.uint8)
+        vma.offsets[:] = block.offsets
+        vma.pool = block.pool
+        self._charge(-freed)
+
+    # -- faults --------------------------------------------------------------------
+
+    def access(self, read_pages: np.ndarray, write_pages: np.ndarray,
+               read_loads: int = 0) -> AccessOutcome:
+        """Drive one invocation's page touches through the fault handler.
+
+        ``read_pages``/``write_pages`` are flat page indices across the
+        address space (see :meth:`flatten`).  ``read_loads`` is the number
+        of cache-missing *loads* issued against pages that end up resident
+        on a byte-addressable pool — it prices CXL's extra latency.
+        """
+        out = AccessOutcome()
+        for vma_idx, idx in self._split(write_pages):
+            out.merge(self._fault_writes(self.vmas[vma_idx], idx))
+        for vma_idx, idx in self._split(read_pages):
+            out.merge(self._fault_reads(self.vmas[vma_idx], idx))
+        if read_loads:
+            out.remote_loads += self._count_remote_loads(read_pages, read_loads)
+        return out
+
+    def _fault_reads(self, vma: VMA, idx: np.ndarray) -> AccessOutcome:
+        out = AccessOutcome()
+        states = vma.state[idx]
+
+        none_mask = states == PTE_NONE
+        # Demand-zero read: shared zero page, minor fault, no allocation.
+        out.minor_faults += int(np.count_nonzero(none_mask))
+
+        invalid_mask = states == PTE_REMOTE_INVALID
+        n_fetch = int(np.count_nonzero(invalid_mask))
+        if n_fetch:
+            # Major fault per page: fetch from the pool into a private
+            # local copy (TrEnv's RDMA backend, §5.1).
+            out.major_faults += n_fetch
+            out.pages_fetched += n_fetch
+            pool_name = vma.pool.name if vma.pool else "unknown"
+            out.fetch_pools[pool_name] = (
+                out.fetch_pools.get(pool_name, 0) + n_fetch)
+            vma.state[idx[invalid_mask]] = PTE_LOCAL
+            out.local_pages_allocated += n_fetch
+            self._charge(n_fetch)
+        # PTE_REMOTE_RO reads: zero software cost (valid PTE, direct load).
+        # PTE_LOCAL reads: free.
+        return out
+
+    def _fault_writes(self, vma: VMA, idx: np.ndarray) -> AccessOutcome:
+        out = AccessOutcome()
+        if not vma.writable:
+            raise PermissionError(
+                f"write to read-only VMA {vma.name!r} in {self.name}")
+        states = vma.state[idx]
+
+        none_mask = states == PTE_NONE
+        n_zero = int(np.count_nonzero(none_mask))
+        if n_zero:
+            out.minor_faults += n_zero
+            vma.state[idx[none_mask]] = PTE_LOCAL
+            out.local_pages_allocated += n_zero
+            self._charge(n_zero)
+
+        ro_mask = states == PTE_REMOTE_RO
+        n_cow = int(np.count_nonzero(ro_mask))
+        if n_cow:
+            # Write-protect fault: copy the shared pool page to local DRAM
+            # (CoW preserves the single shared copy, §5.1).
+            out.cow_faults += n_cow
+            vma.state[idx[ro_mask]] = PTE_LOCAL
+            out.local_pages_allocated += n_cow
+            self._charge(n_cow)
+
+        invalid_mask = states == PTE_REMOTE_INVALID
+        n_fetch = int(np.count_nonzero(invalid_mask))
+        if n_fetch:
+            out.major_faults += n_fetch
+            out.pages_fetched += n_fetch
+            out.cow_faults += n_fetch
+            pool_name = vma.pool.name if vma.pool else "unknown"
+            out.fetch_pools[pool_name] = (
+                out.fetch_pools.get(pool_name, 0) + n_fetch)
+            vma.state[idx[invalid_mask]] = PTE_LOCAL
+            out.local_pages_allocated += n_fetch
+            self._charge(n_fetch)
+        return out
+
+    def _count_remote_loads(self, read_pages: np.ndarray, read_loads: int) -> int:
+        """Apportion load count to reads still resident on a remote pool."""
+        if len(read_pages) == 0:
+            return 0
+        remote = 0
+        for vma_idx, idx in self._split(read_pages):
+            vma = self.vmas[vma_idx]
+            if vma.pool is not None and vma.pool.byte_addressable:
+                remote += int(np.count_nonzero(vma.state[idx] == PTE_REMOTE_RO))
+        return int(round(read_loads * remote / len(read_pages)))
+
+    # -- snapshotting helpers ---------------------------------------------------------
+
+    def page_state_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {PTE_NONE: 0, PTE_LOCAL: 0,
+                                  PTE_REMOTE_RO: 0, PTE_REMOTE_INVALID: 0}
+        for vma in self.vmas:
+            values, freq = np.unique(vma.state, return_counts=True)
+            for v, f in zip(values, freq):
+                counts[int(v)] += int(f)
+        return counts
+
+    def content_image(self) -> np.ndarray:
+        """Concatenated content ids of every page (snapshot order)."""
+        if not self.vmas:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([v.content for v in self.vmas])
+
+    def destroy(self) -> int:
+        """Release all local pages; returns how many were freed."""
+        if self.destroyed:
+            return 0
+        freed = self.local_pages
+        self._charge(-freed)
+        self.destroyed = True
+        return freed
+
+    # -- flat indexing -----------------------------------------------------------------
+
+    def flatten(self) -> np.ndarray:
+        """Cumulative page offsets per VMA for flat-index addressing."""
+        if self._cum is None or len(self._cum) != len(self.vmas) + 1:
+            sizes = np.array([v.npages for v in self.vmas], dtype=np.int64)
+            self._cum = np.concatenate([[0], np.cumsum(sizes)])
+        return self._cum
+
+    def _split(self, flat_pages: np.ndarray) -> List[Tuple[int, np.ndarray]]:
+        """Group flat page indices by VMA, returning local indices."""
+        flat_pages = np.asarray(flat_pages, dtype=np.int64)
+        if len(flat_pages) == 0:
+            return []
+        cum = self.flatten()
+        total = cum[-1]
+        if (flat_pages < 0).any() or (flat_pages >= total).any():
+            raise IndexError("page index out of range for address space")
+        vma_of = np.searchsorted(cum, flat_pages, side="right") - 1
+        out: List[Tuple[int, np.ndarray]] = []
+        for vma_idx in np.unique(vma_of):
+            mask = vma_of == vma_idx
+            out.append((int(vma_idx), flat_pages[mask] - cum[vma_idx]))
+        return out
+
+    def _charge(self, delta_pages: int) -> None:
+        if delta_pages == 0:
+            return
+        self.local_pages += delta_pages
+        if self.local_pages < 0:
+            raise AssertionError("negative local page count")
+        if self.on_local_delta is not None:
+            self.on_local_delta(delta_pages)

@@ -1,0 +1,29 @@
+"""Page-size constants and address helpers."""
+
+from __future__ import annotations
+
+PAGE_SIZE = 4096
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def pages_for_bytes(nbytes: int) -> int:
+    """Number of 4 KiB pages needed to hold ``nbytes`` (rounded up)."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def page_align(addr: int) -> int:
+    """Round ``addr`` down to a page boundary."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a page boundary."""
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def is_page_aligned(addr: int) -> bool:
+    return (addr & (PAGE_SIZE - 1)) == 0

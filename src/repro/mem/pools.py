@@ -1,0 +1,297 @@
+"""Disaggregated memory pool backends.
+
+The paper's rack architecture (Figure 1): a shared pool holds the
+consolidated, deduplicated snapshot images; hosts map them either directly
+(CXL: byte-addressable, valid write-protected PTEs, zero-fault reads) or
+lazily (RDMA: invalid PTEs, 4 KiB fetch per major fault).  All pool state
+is read-only; writes are private to each attaching process via CoW.
+
+Blocks are content-addressed: the :class:`DedupStore` consolidates pages
+with identical content across functions and nodes, which is what produces
+TrEnv's cross-function, cross-node memory savings (§5.1 step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.mem.layout import PAGE_SIZE
+from repro.sim.latency import LatencyModel
+
+
+@dataclass
+class PoolBlock:
+    """A contiguous run of pages stored in a pool.
+
+    ``offsets`` holds the per-page physical offset inside the pool — the
+    "machine-independent pointer" of §5.1 — so overlapping/deduplicated
+    layouts are expressible (two blocks may reference the same offsets).
+    """
+
+    pool: "MemoryPool"
+    offsets: np.ndarray          # int64 physical page offsets within the pool
+
+    @property
+    def npages(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def nbytes(self) -> int:
+        return self.npages * PAGE_SIZE
+
+
+class MemoryPool:
+    """Base class for a remote memory pool backend."""
+
+    #: Can the CPU load directly from the pool without a fault?
+    byte_addressable = False
+    name = "pool"
+
+    def __init__(self, capacity_bytes: int, latency: Optional[LatencyModel] = None):
+        self.capacity_bytes = int(capacity_bytes)
+        self.latency = latency or LatencyModel()
+        self._next_offset = 0
+        self._stored_pages = 0
+        self._active_fetchers = 0
+
+    # -- storage -----------------------------------------------------------------
+
+    def allocate_pages(self, npages: int) -> np.ndarray:
+        """Reserve ``npages`` fresh page slots; returns their offsets."""
+        needed = npages * PAGE_SIZE
+        if self.used_bytes + needed > self.capacity_bytes:
+            raise MemoryError(
+                f"{self.name} pool exhausted: "
+                f"{self.used_bytes + needed} > {self.capacity_bytes}")
+        base = self._next_offset
+        self._next_offset += npages
+        self._stored_pages += npages
+        return np.arange(base, base + npages, dtype=np.int64)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._stored_pages * PAGE_SIZE
+
+    @property
+    def used_pages(self) -> int:
+        return self._stored_pages
+
+    # -- access timing --------------------------------------------------------------
+
+    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+        """Simulated time to demand-fetch ``npages`` individual pages."""
+        raise NotImplementedError
+
+    def read_overhead(self, nloads: int) -> float:
+        """Extra time for ``nloads`` direct loads (byte-addressable pools)."""
+        raise NotImplementedError
+
+    def valid_mask(self, offsets: np.ndarray) -> np.ndarray:
+        """Which of these pages can get *valid* (direct-load) PTEs.
+
+        Byte-addressable pools map everything valid; message-based pools
+        nothing; tiered pools only their hot-tier pages.
+        """
+        return np.full(len(offsets), self.byte_addressable, dtype=bool)
+
+
+class CXLPool(MemoryPool):
+    """CXL multi-headed device: byte-addressable, shared, read-only maps.
+
+    Reads need no software intervention (valid PTEs pre-installed by
+    mm-template), so :meth:`fetch_time` is only used if a platform
+    explicitly chooses lazy mapping; the normal cost is the per-load
+    latency delta over DRAM (§5.1).
+    """
+
+    byte_addressable = True
+    name = "cxl"
+
+    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+        # Direct-mapped copy at near-memory speed; no page-fault round trip.
+        per_page = self.latency.mem.minor_fault + PAGE_SIZE / (16e9)  # ~16 GB/s
+        return npages * per_page
+
+    def read_overhead(self, nloads: int) -> float:
+        return self.latency.cxl_read_overhead(nloads)
+
+
+class RDMAPool(MemoryPool):
+    """RDMA-backed pool: lazy 4 KiB fetches with unstable tail latency.
+
+    ``encrypted=True`` enables in-transit protection of the memory
+    images (§8.1.2(3): "for RDMA, it is possible to encrypt the memory
+    images during transfers") at an AES-GCM-class per-page cost.
+    """
+
+    byte_addressable = False
+    name = "rdma"
+
+    #: AES-GCM decrypt of one 4 KiB page at ~4 GB/s plus tag check.
+    ENCRYPTION_COST_PER_PAGE = 1.1e-6
+
+    def __init__(self, capacity_bytes: int, latency=None,
+                 encrypted: bool = False):
+        super().__init__(capacity_bytes, latency)
+        self.encrypted = encrypted
+
+    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+        t = self.latency.rdma_fetch(npages, concurrency)
+        if self.encrypted:
+            t += npages * self.ENCRYPTION_COST_PER_PAGE
+        return t
+
+    def read_overhead(self, nloads: int) -> float:
+        return 0.0  # once fetched, pages are local
+
+
+class NASPool(MemoryPool):
+    """Network-attached storage tier for cold pages (lowest layer, Fig 1)."""
+
+    byte_addressable = False
+    name = "nas"
+
+    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+        return npages * (self.latency.mem.nas_fetch_4k + self.latency.mem.minor_fault)
+
+    def read_overhead(self, nloads: int) -> float:
+        return 0.0
+
+
+@dataclass
+class _TierPlacement:
+    pool: MemoryPool
+    fraction: float
+
+
+class TieredPool(MemoryPool):
+    """Multi-layer pool: hot pages in an upper tier, cold pages lower.
+
+    §5.1/§9.5: "a multi-layered architecture that strategically places hot
+    pages in CXL and cold pages in RDMA integrates seamlessly".  The
+    placement policy is a hot-fraction split; eviction/promotion policies
+    are orthogonal to TrEnv and deliberately simple here.
+    """
+
+    name = "tiered"
+
+    def __init__(self, hot: MemoryPool, cold: MemoryPool, hot_fraction: float = 0.5):
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction out of range: {hot_fraction}")
+        super().__init__(hot.capacity_bytes + cold.capacity_bytes, hot.latency)
+        self.hot = hot
+        self.cold = cold
+        self.hot_fraction = hot_fraction
+
+    @property
+    def byte_addressable(self) -> bool:  # type: ignore[override]
+        return self.hot.byte_addressable
+
+    def allocate_pages(self, npages: int) -> np.ndarray:
+        n_hot = int(round(npages * self.hot_fraction))
+        mask = np.zeros(npages, dtype=bool)
+        mask[:n_hot] = True
+        return self.allocate_pages_masked(mask)
+
+    def allocate_pages_masked(self, hot_mask: np.ndarray) -> np.ndarray:
+        """Allocate with explicit per-page placement (hot=True → upper
+        tier).  Used by working-set-aware planners
+        (:mod:`repro.mem.tiering`)."""
+        hot_mask = np.asarray(hot_mask, dtype=bool)
+        npages = len(hot_mask)
+        n_hot = int(np.count_nonzero(hot_mask))
+        hot = self.hot.allocate_pages(n_hot)
+        cold = self.cold.allocate_pages(npages - n_hot)
+        out = np.empty(npages, dtype=np.int64)
+        out[hot_mask] = hot
+        # Tag cold offsets with a high bit so valid_mask can split them.
+        out[~hot_mask] = cold + _COLD_TAG
+        self._stored_pages += npages
+        return out
+
+    def split_offsets(self, offsets: np.ndarray):
+        cold_mask = offsets >= _COLD_TAG
+        return offsets[~cold_mask], offsets[cold_mask] - _COLD_TAG
+
+    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+        # Demand fetches only ever hit the cold tier: hot-tier pages get
+        # valid PTEs up front (see valid_mask) and never fault.
+        return self.cold.fetch_time(npages, concurrency)
+
+    def read_overhead(self, nloads: int) -> float:
+        # Direct loads only ever hit the hot tier: cold pages were
+        # materialised locally by their fault.
+        return self.hot.read_overhead(nloads)
+
+    def valid_mask(self, offsets: np.ndarray) -> np.ndarray:
+        if not self.hot.byte_addressable:
+            return np.zeros(len(offsets), dtype=bool)
+        return offsets < _COLD_TAG
+
+    @property
+    def used_bytes(self) -> int:
+        return self.hot.used_bytes + self.cold.used_bytes
+
+
+_COLD_TAG = 1 << 48
+
+
+class DedupStore:
+    """Content-addressed store consolidating snapshot images in a pool.
+
+    ``store_image(content_ids)`` returns a :class:`PoolBlock` whose offsets
+    point at the single shared copy of every page; pages already present
+    (from any function, any node) are not stored again (§5.1 step 1,
+    Figure 12's duplicated region R2).
+    """
+
+    def __init__(self, pool: MemoryPool):
+        self.pool = pool
+        self._by_content: Dict[int, int] = {}
+        self.total_pages_presented = 0
+        self.unique_pages_stored = 0
+
+    def store_image(self, content_ids: np.ndarray,
+                    hot_mask: Optional[np.ndarray] = None) -> PoolBlock:
+        """Consolidate an image; optionally with per-page tier placement.
+
+        ``hot_mask`` (tiered pools only) marks which pages belong in the
+        upper tier; the first function to store a page decides its
+        placement.
+        """
+        content_ids = np.asarray(content_ids, dtype=np.int64)
+        self.total_pages_presented += len(content_ids)
+        unique = np.unique(content_ids)
+        missing = [int(cid) for cid in unique if int(cid) not in self._by_content]
+        if missing:
+            if hot_mask is not None:
+                if not hasattr(self.pool, "allocate_pages_masked"):
+                    raise TypeError(
+                        f"{self.pool.name} pool does not support placement")
+                hot_by_cid = {}
+                for cid, hot in zip(content_ids, hot_mask):
+                    hot_by_cid.setdefault(int(cid), bool(hot))
+                mask = np.array([hot_by_cid[cid] for cid in missing],
+                                dtype=bool)
+                fresh = self.pool.allocate_pages_masked(mask)
+            else:
+                fresh = self.pool.allocate_pages(len(missing))
+            for cid, off in zip(missing, fresh):
+                self._by_content[cid] = int(off)
+            self.unique_pages_stored += len(missing)
+        # Vectorised lookup: map sorted unique cids to their offsets, then
+        # gather through searchsorted.
+        unique_offsets = np.array(
+            [self._by_content[int(cid)] for cid in unique], dtype=np.int64)
+        offsets = unique_offsets[np.searchsorted(unique, content_ids)]
+        return PoolBlock(pool=self.pool, offsets=offsets)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of presented pages that were deduplicated away."""
+        if self.total_pages_presented == 0:
+            return 0.0
+        return 1.0 - self.unique_pages_stored / self.total_pages_presented

@@ -1,0 +1,52 @@
+"""A simulated host node: CPU, memory accounting, kernel subsystems.
+
+Every platform under evaluation runs against a :class:`Node`, which wires
+together the event engine, the processor-sharing CPU, the memory
+accountant, and the kernel object managers.  The testbed of §9.1 (dual
+32-core Xeon, 256 GB RAM) is the default shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.criu.restore import CRIUEngine
+from repro.kernel.cgroup import CgroupManager
+from repro.kernel.namespaces import NamespaceManager
+from repro.kernel.process import ProcessTable
+from repro.mem.accounting import MemoryAccountant
+from repro.mem.layout import GB
+from repro.sim.cpu import FairShareCPU
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import SeededRNG
+
+
+class Node:
+    """One host in the rack."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 cores: int = 64,
+                 dram_bytes: int = 256 * GB,
+                 latency: Optional[LatencyModel] = None,
+                 seed: int = 0,
+                 soft_cap_bytes: Optional[int] = None,
+                 name: str = "node0"):
+        self.sim = sim or Simulator()
+        self.name = name
+        self.cores = cores
+        self.dram_bytes = dram_bytes
+        self.latency = latency or LatencyModel()
+        self.rng = SeededRNG(seed, f"node/{name}")
+        self.cpu = FairShareCPU(self.sim, cores)
+        self.memory = MemoryAccountant(clock=lambda: self.sim.now,
+                                       soft_cap_bytes=soft_cap_bytes)
+        self.namespaces = NamespaceManager(self.sim, self.latency)
+        self.cgroups = CgroupManager(self.sim, self.latency,
+                                     self.rng.fork("cgroup"))
+        self.procs = ProcessTable(self.sim, self.latency, self.cgroups)
+        self.criu = CRIUEngine(self.sim, self.procs, self.latency)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

@@ -1,0 +1,102 @@
+"""Result export: CSV/JSON dumps and markdown comparison reports.
+
+Turns :class:`~repro.serverless.runner.RunResult` objects (and agent
+recorders) into artifacts a downstream user can archive or diff across
+runs — per-invocation CSVs, summary JSON, and the markdown tables used
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.serverless.metrics import LatencyRecorder
+from repro.serverless.runner import RunResult
+
+
+def invocations_to_csv(recorder: LatencyRecorder, path) -> int:
+    """Write one row per measured invocation; returns rows written."""
+    path = Path(path)
+    rows = recorder.measured()
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("function", "arrival", "start_kind", "startup_s",
+                         "exec_s", "e2e_s"))
+        for r in rows:
+            writer.writerow((r.function, f"{r.arrival:.6f}", r.start_kind,
+                             f"{r.startup:.6f}", f"{r.exec:.6f}",
+                             f"{r.e2e:.6f}"))
+    return len(rows)
+
+
+def run_result_summary(result: RunResult) -> Dict:
+    """A JSON-safe summary of one platform × workload run."""
+    rec = result.recorder
+    return {
+        "platform": result.platform,
+        "workload": result.workload,
+        "invocations": rec.count(),
+        "p50_e2e_s": rec.e2e_percentile(50),
+        "p99_e2e_s": rec.e2e_percentile(99),
+        "p99_startup_s": rec.startup_percentile(99),
+        "peak_memory_mb": result.peak_memory_mb,
+        "integral_mb_s": result.integral_mb_seconds,
+        "cpu_utilization": result.cpu_utilization,
+        "start_kinds": rec.start_kind_counts(),
+        "per_function": rec.summary(),
+        "platform_stats": result.platform_stats,
+    }
+
+
+def write_summary_json(results: Sequence[RunResult], path) -> None:
+    payload = [run_result_summary(r) for r in results]
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def comparison_markdown(results: Sequence[RunResult],
+                        title: str = "Platform comparison") -> str:
+    """A README/EXPERIMENTS-style markdown table across platforms."""
+    if not results:
+        raise ValueError("no results to report")
+    lines = [f"## {title}", ""]
+    lines.append("| platform | P50 ms | P99 ms | P99 startup ms | "
+                 "peak MB | warm % |")
+    lines.append("|---|---|---|---|---|---|")
+    for result in results:
+        rec = result.recorder
+        kinds = rec.start_kind_counts()
+        total = max(1, sum(kinds.values()))
+        warm_pct = 100.0 * kinds.get("warm", 0) / total
+        lines.append(
+            f"| {result.platform} "
+            f"| {rec.e2e_percentile(50) * 1e3:.1f} "
+            f"| {rec.e2e_percentile(99) * 1e3:.1f} "
+            f"| {rec.startup_percentile(99) * 1e3:.1f} "
+            f"| {result.peak_memory_mb:.0f} "
+            f"| {warm_pct:.0f}% |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def speedup_table(results: Sequence[RunResult], baseline: str,
+                  percentile: float = 99.0) -> Dict[str, Dict[str, float]]:
+    """Per-function speedups of every platform over ``baseline``."""
+    by_name = {r.platform: r for r in results}
+    if baseline not in by_name:
+        raise KeyError(f"baseline {baseline!r} not among results")
+    base = by_name[baseline].recorder
+    out: Dict[str, Dict[str, float]] = {}
+    for name, result in by_name.items():
+        if name == baseline:
+            continue
+        rec = result.recorder
+        out[name] = {}
+        for fn in rec.functions():
+            base_p = base.e2e_percentile(percentile, fn)
+            ours = rec.e2e_percentile(percentile, fn)
+            if ours > 0 and base_p == base_p:   # skip NaN baselines
+                out[name][fn] = base_p / ours
+    return out

@@ -1,0 +1,33 @@
+"""Serverless platform machinery.
+
+* :mod:`repro.serverless.metrics` — latency recording, percentiles, CDFs.
+* :mod:`repro.serverless.base` — the platform skeleton every evaluated
+  system shares: keep-alive warm pool (§9.1 schedule policy), invocation
+  lifecycle, execution engine, memory-pressure eviction.
+* :mod:`repro.serverless.baselines` — faasd, CRIU, REAP+ and FaaSnap+.
+* :mod:`repro.serverless.runner` — drive a workload through a platform.
+
+TrEnv's own container platform lives in :mod:`repro.core.platform`.
+"""
+
+from repro.serverless.metrics import (InvocationResult, LatencyRecorder,
+                                      percentile)
+from repro.serverless.base import Instance, ServerlessPlatform, WarmPool
+from repro.serverless.baselines import (CRIUPlatform, FaasdPlatform,
+                                        FaasnapPlatform, ReapPlatform)
+from repro.serverless.runner import RunResult, run_workload
+
+__all__ = [
+    "CRIUPlatform",
+    "FaasdPlatform",
+    "FaasnapPlatform",
+    "Instance",
+    "InvocationResult",
+    "LatencyRecorder",
+    "ReapPlatform",
+    "RunResult",
+    "ServerlessPlatform",
+    "WarmPool",
+    "percentile",
+    "run_workload",
+]

@@ -1,0 +1,337 @@
+"""Platform skeleton shared by every evaluated system.
+
+Implements the §9.1 methodology pieces that are common across faasd,
+CRIU, REAP+, FaaSnap+ and TrEnv:
+
+* the keep-alive schedule policy — finished instances stay warm for a
+  fixed window (default 10 min) in an LRU pool and are reused for new
+  invocations of the same function;
+* memory-pressure eviction — under a soft memory cap (W2: 32 GB), LRU
+  warm instances are destroyed until usage fits;
+* the execution engine — an invocation replays its page-access trace
+  through the instance's address space; fault handling and remote-pool
+  fetches become CPU work (so they stretch under load, which is exactly
+  the §9.2.2 tail-latency effect), CXL load deltas become execution time,
+  and file IO flows through the platform's page-cache model.
+
+Subclasses provide acquisition (``_acquire``), recycling (``_recycle``)
+and retirement (``_retire``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.page_cache import FileIdRegistry, PageCache
+from repro.mem.pools import MemoryPool
+from repro.node import Node
+from repro.serverless.metrics import InvocationResult, LatencyRecorder
+from repro.sim.engine import Delay
+from repro.sim.rng import SeededRNG
+from repro.workloads.functions import FunctionProfile
+
+#: IO time per freshly-read 4 KiB page cache block on the host (NVMe).
+_HOST_IO_PER_PAGE = 3e-6
+
+
+class Instance:
+    """One live (or warm) execution environment."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, profile: FunctionProfile, space: AddressSpace,
+                 payload: object = None):
+        self.instance_id = next(Instance._ids)
+        self.profile = profile
+        self.space = space
+        self.payload = payload          # sandbox / MicroVM / None
+        self.busy = True
+        self.last_used = 0.0
+        self.invocations = 0
+        self.retired = False
+
+    @property
+    def function(self) -> str:
+        return self.profile.name
+
+
+class WarmPool:
+    """Keep-alive pool: per-function stacks with global LRU view."""
+
+    def __init__(self):
+        self._by_function: Dict[str, List[Instance]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, function: str) -> Optional[Instance]:
+        stack = self._by_function.get(function)
+        if stack:
+            self.hits += 1
+            inst = stack.pop()
+            inst.busy = True
+            return inst
+        self.misses += 1
+        return None
+
+    def put(self, inst: Instance) -> None:
+        inst.busy = False
+        self._by_function.setdefault(inst.function, []).append(inst)
+
+    def remove(self, inst: Instance) -> bool:
+        stack = self._by_function.get(inst.function, [])
+        if inst in stack:
+            stack.remove(inst)
+            return True
+        return False
+
+    def lru_victim(self) -> Optional[Instance]:
+        """The least-recently-used idle instance across all functions."""
+        best: Optional[Instance] = None
+        for stack in self._by_function.values():
+            for inst in stack:
+                if best is None or inst.last_used < best.last_used:
+                    best = inst
+        return best
+
+    def idle_instances(self) -> List[Instance]:
+        return [i for stack in self._by_function.values() for i in stack]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._by_function.values())
+
+
+class ServerlessPlatform:
+    """Base class; subclasses implement acquisition and retirement."""
+
+    name = "base"
+
+    def __init__(self, node: Node, keep_alive: float = 600.0, seed: int = 0,
+                 keep_alive_policy=None):
+        self.node = node
+        self.keep_alive = keep_alive
+        #: Optional KeepAlivePolicy; None means the fixed window in
+        #: ``keep_alive`` (re-read at expiry time, so the workload
+        #: runner may adjust it).
+        self.keep_alive_policy = keep_alive_policy
+        self.functions: Dict[str, FunctionProfile] = {}
+        self.warm = WarmPool()
+        self.recorder = LatencyRecorder()
+        self.trace_rng = SeededRNG(seed, f"{self.name}/traces")
+        self.host_cache = PageCache(
+            "host-cache",
+            on_delta=lambda d: node.memory.charge_pages("host-page-cache", d))
+        self.files = FileIdRegistry()
+        self._pools_by_name: Dict[str, MemoryPool] = {}
+        self._inflight_fetches = 0
+        self._inv_counter = itertools.count()
+        # Per-function admission control: None = unlimited.
+        self._concurrency_limits: Dict[str, int] = {}
+        self._running_per_function: Dict[str, int] = {}
+        self._admission_queues: Dict[str, List] = {}
+
+    # -- registration --------------------------------------------------------------
+
+    def register_function(self, profile: FunctionProfile) -> None:
+        """Register + run platform preprocessing (snapshots, templates)."""
+        self.functions[profile.name] = profile
+        self._preprocess(profile)
+
+    def _preprocess(self, profile: FunctionProfile) -> None:
+        """Hook: offline preparation (untimed, §4 phase A)."""
+
+    def register_pool(self, pool: MemoryPool) -> None:
+        self._pools_by_name[pool.name] = pool
+
+    def set_concurrency_limit(self, function: str, limit: Optional[int]
+                              ) -> None:
+        """Cap in-flight invocations per function (FIFO admission)."""
+        if limit is not None and limit <= 0:
+            raise ValueError("concurrency limit must be positive")
+        if limit is None:
+            self._concurrency_limits.pop(function, None)
+        else:
+            self._concurrency_limits[function] = limit
+
+    # -- the invocation lifecycle -----------------------------------------------------
+
+    def invoke(self, function: str, arrival: Optional[float] = None
+               ) -> Generator:
+        """Timed: run one invocation end-to-end; returns the result."""
+        profile = self.functions[function]
+        arrival = self.node.now if arrival is None else arrival
+        if self.keep_alive_policy is not None:
+            self.keep_alive_policy.observe_arrival(function, arrival)
+        inv_idx = next(self._inv_counter)
+        t0 = self.node.now
+        yield self._admit(function)
+        queue_wait = self.node.now - t0
+        t_acquire = self.node.now
+        inst = self.warm.take(function)
+        if inst is not None:
+            kind = "warm"
+            yield self._warm_resume(inst)
+        else:
+            inst, kind = yield self._acquire(profile)
+        startup = self.node.now - t_acquire
+        t1 = self.node.now
+        yield self.execute(inst, profile, inv_idx)
+        exec_lat = self.node.now - t1
+        inst.last_used = self.node.now
+        inst.invocations += 1
+        yield self._recycle(inst)
+        self._release(function)
+        self._apply_memory_pressure()
+        result = InvocationResult(function=function, arrival=arrival,
+                                  start_kind=kind, startup=startup,
+                                  exec=exec_lat,
+                                  e2e=self.node.now - t0,
+                                  queue=queue_wait)
+        self.recorder.record(result)
+        return result
+
+    def _admit(self, function: str):
+        """Timed: wait for an admission slot if the function is capped.
+        The slot is handed directly to the next waiter on release, so
+        admission is strictly FIFO and never over-subscribes."""
+        limit = self._concurrency_limits.get(function)
+        if limit is None:
+            return
+            yield  # pragma: no cover
+        running = self._running_per_function.get(function, 0)
+        if running >= limit:
+            gate = self.node.sim.event()
+            self._admission_queues.setdefault(function, []).append(gate)
+            yield gate   # slot transferred on wake
+        else:
+            self._running_per_function[function] = running + 1
+        return
+
+    def _release(self, function: str) -> None:
+        if function not in self._concurrency_limits:
+            return
+        queue = self._admission_queues.get(function)
+        if queue:
+            queue.pop(0).trigger()
+        else:
+            self._running_per_function[function] -= 1
+
+    # -- hooks ---------------------------------------------------------------------------
+
+    def _acquire(self, profile: FunctionProfile) -> Generator:
+        """Timed hook: produce a ready instance; returns (inst, kind)."""
+        raise NotImplementedError
+
+    def _warm_resume(self, inst: Instance) -> Generator:
+        """Timed hook: wake a warm instance (default: unpause cost)."""
+        yield Delay(0.3e-3)
+
+    def _recycle(self, inst: Instance) -> Generator:
+        """Timed hook: what happens after completion (default: keep warm)."""
+        self.warm.put(inst)
+        self._schedule_expiry(inst)
+        return
+        yield  # pragma: no cover
+
+    def _retire(self, inst: Instance) -> Generator:
+        """Timed hook: destroy the instance and release resources."""
+        inst.retired = True
+        inst.space.destroy()
+        return
+        yield  # pragma: no cover
+
+    # -- execution engine ----------------------------------------------------------------
+
+    def execute(self, inst: Instance, profile: FunctionProfile,
+                inv_idx: int) -> Generator:
+        """Timed: replay the invocation's page-access trace and compute."""
+        node = self.node
+        lat = node.latency.mem
+        trace = profile.make_trace(self.trace_rng, inv_idx)
+        outcome = inst.space.access(trace.read_pages, trace.write_pages,
+                                    trace.read_loads)
+        # Fault handling is CPU work: it stretches under overload.
+        overhead = (outcome.minor_faults * lat.minor_fault
+                    + outcome.cow_faults * lat.cow_fault)
+        self._inflight_fetches += 1
+        try:
+            for pool_name, pages in outcome.fetch_pools.items():
+                pool = self._pools_by_name.get(pool_name)
+                if pool is None:
+                    raise KeyError(
+                        f"{self.name}: fetched from unregistered pool "
+                        f"{pool_name!r}")
+                overhead += pool.fetch_time(pages, self._inflight_fetches)
+            # CXL (or other byte-addressable) resident loads: per-load
+            # latency delta, paid inline during execution.
+            if outcome.remote_loads:
+                overhead += self._read_overhead(inst, outcome.remote_loads)
+            yield from node.cpu.compute(profile.exec_cpu + overhead)
+        finally:
+            self._inflight_fetches -= 1
+        io_time = profile.io_time + self._file_io(inst, profile)
+        if io_time > 0:
+            yield Delay(io_time)
+
+    def _read_overhead(self, inst: Instance, loads: int) -> float:
+        for vma in inst.space.vmas:
+            if vma.pool is not None and vma.pool.byte_addressable:
+                return vma.pool.read_overhead(loads)
+        return 0.0
+
+    def _file_io(self, inst: Instance, profile: FunctionProfile) -> float:
+        """Charge caches for rootfs file IO; return IO seconds.
+
+        Containers read through the host page cache directly: one copy
+        per node per function's file set, shared by all instances.
+        """
+        fid = self.files.file_id("fn-files", profile.name)
+        fresh = self.host_cache.charge_file(fid, profile.file_io_bytes)
+        return fresh * _HOST_IO_PER_PAGE
+
+    # -- keep-alive + pressure ---------------------------------------------------------------
+
+    def _expiry_window(self, inst: Instance) -> float:
+        if self.keep_alive_policy is not None:
+            return self.keep_alive_policy.window(inst.function)
+        return self.keep_alive
+
+    def _schedule_expiry(self, inst: Instance) -> None:
+        stamp = inst.last_used
+        window = self._expiry_window(inst)
+        if window <= 0:
+            if self.warm.remove(inst):
+                self.node.sim.spawn(self._retire(inst),
+                                    name=f"expire-{inst.instance_id}")
+            return
+
+        def check():
+            if (not inst.busy and not inst.retired
+                    and inst.last_used == stamp):
+                if self.warm.remove(inst):
+                    self.node.sim.spawn(self._retire(inst),
+                                        name=f"expire-{inst.instance_id}")
+
+        self.node.sim.call_at(self.node.now + window, check)
+
+    def _apply_memory_pressure(self) -> None:
+        """Evict LRU warm instances while over the node's soft cap."""
+        guard = 0
+        while self.node.memory.over_soft_cap() and guard < 1000:
+            victim = self.warm.lru_victim()
+            if victim is None:
+                break
+            self.warm.remove(victim)
+            self.node.sim.spawn(self._retire(victim),
+                                name=f"pressure-{victim.instance_id}")
+            guard += 1
+
+    # -- stats ------------------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "warm_hits": self.warm.hits,
+            "warm_misses": self.warm.misses,
+            "warm_size": len(self.warm),
+        }

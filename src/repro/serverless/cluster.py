@@ -1,0 +1,155 @@
+"""Multi-node cluster: several hosts, one rack-level memory pool.
+
+§8.2: "TrEnv reduces the overall memory footprint by enabling
+cross-machine-intra-rack deduplication.  Only one copy is needed per
+rack if it is read-only, reducing the cost by a factor of the number of
+machines (~10)."  The cluster shares one simulator across nodes (one
+virtual clock) and dispatches invocations by policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.node import Node
+from repro.serverless.base import ServerlessPlatform
+from repro.serverless.metrics import LatencyRecorder
+from repro.sim.engine import Delay, Simulator
+from repro.workloads.functions import function_by_name
+from repro.workloads.synthetic import Workload
+
+
+class DispatchPolicy:
+    """Chooses a host for each invocation."""
+
+    name = "base"
+
+    def pick(self, platforms: Sequence[ServerlessPlatform],
+             function: str) -> ServerlessPlatform:
+        raise NotImplementedError
+
+
+class RoundRobin(DispatchPolicy):
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def pick(self, platforms, function):
+        platform = platforms[self._next % len(platforms)]
+        self._next += 1
+        return platform
+
+
+class LeastLoaded(DispatchPolicy):
+    """Send to the host with the fewest runnable CPU tasks."""
+
+    name = "least-loaded"
+
+    def pick(self, platforms, function):
+        return min(platforms, key=lambda p: p.node.cpu.load)
+
+
+class WarmAffinity(DispatchPolicy):
+    """Prefer a host holding a warm instance of the function; fall back
+    to least-loaded.  This is what production schedulers approximate."""
+
+    name = "warm-affinity"
+
+    def pick(self, platforms, function):
+        for platform in platforms:
+            if platform.warm._by_function.get(function):
+                return platform
+        return min(platforms, key=lambda p: p.node.cpu.load)
+
+
+@dataclass
+class ClusterResult:
+    """Aggregated outcome of one cluster workload run."""
+
+    recorder: LatencyRecorder
+    per_node_peak_mb: List[float]
+    total_peak_mb: float
+    pool_used_mb: float
+    dispatch_counts: Dict[str, int]
+    duration: float
+
+
+class Cluster:
+    """N hosts driven by one simulator, dispatching one workload."""
+
+    def __init__(self, platforms: Sequence[ServerlessPlatform],
+                 policy: Optional[DispatchPolicy] = None):
+        if not platforms:
+            raise ValueError("cluster needs at least one platform")
+        sims = {id(p.node.sim) for p in platforms}
+        if len(sims) != 1:
+            raise ValueError("all cluster nodes must share one Simulator")
+        self.platforms = list(platforms)
+        self.sim: Simulator = platforms[0].node.sim
+        self.policy = policy or WarmAffinity()
+        self.dispatch_counts: Dict[str, int] = {}
+
+    def run_workload(self, workload: Workload,
+                     warmup: Optional[float] = None) -> ClusterResult:
+        for platform in self.platforms:
+            platform.keep_alive = workload.keep_alive
+            platform.recorder.warmup = (workload.warmup if warmup is None
+                                        else warmup)
+            platform.node.memory.soft_cap_bytes = workload.soft_cap_bytes
+            for name in workload.functions_used():
+                if name not in platform.functions:
+                    platform.register_function(function_by_name(name))
+
+        def arrival(event):
+            yield Delay(max(0.0, event.time - self.sim.now))
+            platform = self.policy.pick(self.platforms, event.function)
+            key = platform.node.name
+            self.dispatch_counts[key] = self.dispatch_counts.get(key, 0) + 1
+            yield platform.invoke(event.function, arrival=event.time)
+
+        waiters = [self.sim.spawn(arrival(e), name=f"cinv-{i}")
+                   for i, e in enumerate(workload.events)]
+        self.sim.run()
+        if any(not w.done for w in waiters):
+            raise RuntimeError("cluster run left invocations unfinished")
+
+        merged = LatencyRecorder(warmup=workload.warmup if warmup is None
+                                 else warmup)
+        for platform in self.platforms:
+            for result in platform.recorder.results:
+                merged.record(result)
+        peaks = [p.node.memory.peak_bytes / (1 << 20)
+                 for p in self.platforms]
+        pool_mb = 0.0
+        first = self.platforms[0]
+        if hasattr(first, "pool"):
+            pool_mb = first.pool.used_bytes / (1 << 20)
+        return ClusterResult(
+            recorder=merged,
+            per_node_peak_mb=peaks,
+            total_peak_mb=sum(peaks),
+            pool_used_mb=pool_mb,
+            dispatch_counts=dict(self.dispatch_counts),
+            duration=self.sim.now,
+        )
+
+
+def make_trenv_cluster(n_nodes: int, pool, store=None, seed: int = 0,
+                       cores: int = 64,
+                       policy: Optional[DispatchPolicy] = None,
+                       config=None) -> Cluster:
+    """A rack of TrEnv hosts sharing one memory pool and dedup store."""
+    from repro.core.platform import TrEnvPlatform
+    from repro.mem.pools import DedupStore
+
+    sim = Simulator()
+    store = store or DedupStore(pool)
+    platforms = []
+    for i in range(n_nodes):
+        node = Node(sim=sim, cores=cores, seed=seed + i, name=f"node{i}")
+        platforms.append(TrEnvPlatform(node, pool, store=store,
+                                       config=config,
+                                       name=f"t-cxl-n{i}", seed=seed + i))
+    return Cluster(platforms, policy=policy)

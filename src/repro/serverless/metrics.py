@@ -1,0 +1,108 @@
+"""Latency metrics: per-invocation records, percentiles, CDFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0–100) of ``values``; nan if empty."""
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, p))
+
+
+@dataclass(frozen=True)
+class InvocationResult:
+    """One completed invocation."""
+
+    function: str
+    arrival: float
+    start_kind: str        # "warm" | "repurposed" | "restored" | "cold"
+    startup: float         # sandbox/VM + memory restore latency
+    exec: float            # execution-phase latency
+    e2e: float             # end-to-end (queue + startup + exec)
+    queue: float = 0.0     # admission-control wait (concurrency limit)
+
+    def __post_init__(self):
+        if self.e2e + 1e-9 < self.startup + self.exec + self.queue:
+            raise ValueError("e2e smaller than queue+startup+exec")
+
+
+class LatencyRecorder:
+    """Collects invocation results and answers the paper's questions."""
+
+    def __init__(self, warmup: float = 0.0):
+        self.warmup = warmup
+        self.results: List[InvocationResult] = []
+
+    def record(self, result: InvocationResult) -> None:
+        self.results.append(result)
+
+    # -- selection ----------------------------------------------------------------
+
+    def measured(self, function: Optional[str] = None
+                 ) -> List[InvocationResult]:
+        """Results past the warm-up window, optionally for one function."""
+        out = [r for r in self.results if r.arrival >= self.warmup]
+        if function is not None:
+            out = [r for r in out if r.function == function]
+        return out
+
+    def functions(self) -> List[str]:
+        return sorted({r.function for r in self.measured()})
+
+    # -- aggregates ------------------------------------------------------------------
+
+    def e2e_percentile(self, p: float, function: Optional[str] = None) -> float:
+        return percentile([r.e2e for r in self.measured(function)], p)
+
+    def startup_percentile(self, p: float,
+                           function: Optional[str] = None) -> float:
+        return percentile([r.startup for r in self.measured(function)], p)
+
+    def exec_percentile(self, p: float, function: Optional[str] = None) -> float:
+        return percentile([r.exec for r in self.measured(function)], p)
+
+    def mean_e2e(self, function: Optional[str] = None) -> float:
+        vals = [r.e2e for r in self.measured(function)]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def cdf(self, function: Optional[str] = None
+            ) -> Tuple[np.ndarray, np.ndarray]:
+        """(sorted latencies, cumulative probability) for CDF plots."""
+        vals = np.sort([r.e2e for r in self.measured(function)])
+        if vals.size == 0:
+            return vals, vals
+        probs = np.arange(1, vals.size + 1) / vals.size
+        return vals, probs
+
+    def start_kind_counts(self, function: Optional[str] = None
+                          ) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.measured(function):
+            counts[r.start_kind] = counts.get(r.start_kind, 0) + 1
+        return counts
+
+    def count(self, function: Optional[str] = None) -> int:
+        return len(self.measured(function))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-function P50/P99 e2e + mean startup, for report tables."""
+        out: Dict[str, Dict[str, float]] = {}
+        for fn in self.functions():
+            rs = self.measured(fn)
+            out[fn] = {
+                "count": len(rs),
+                "p50_e2e": percentile([r.e2e for r in rs], 50),
+                "p99_e2e": percentile([r.e2e for r in rs], 99),
+                "p99_startup": percentile([r.startup for r in rs], 99),
+                "mean_exec": float(np.mean([r.exec for r in rs])),
+            }
+        return out

@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate.
+
+The whole TrEnv reproduction runs on a virtual clock: every kernel
+operation, page fault, memory copy, and LLM round trip advances simulated
+time rather than wall time.  This package provides the event engine
+(:mod:`repro.sim.engine`), seeded randomness (:mod:`repro.sim.rng`), the
+calibrated latency model (:mod:`repro.sim.latency`), and a
+processor-sharing CPU model used for the overcommitment experiments
+(:mod:`repro.sim.cpu`).
+"""
+
+from repro.sim.engine import Delay, Event, Interrupt, Simulator, Waiter
+from repro.sim.cpu import FairShareCPU
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import SeededRNG
+
+__all__ = [
+    "Delay",
+    "Event",
+    "FairShareCPU",
+    "Interrupt",
+    "LatencyModel",
+    "SeededRNG",
+    "Simulator",
+    "Waiter",
+]

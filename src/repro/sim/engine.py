@@ -1,0 +1,310 @@
+"""Generator-based discrete-event simulation engine.
+
+Processes are Python generators that yield *commands*:
+
+* ``Delay(dt)`` — suspend for ``dt`` simulated seconds.
+* ``Event`` — suspend until the event is triggered; the event's payload is
+  sent back into the generator.
+* another generator — run it as a sub-process and resume with its return
+  value (the classic "process call" composition).
+
+The engine is deterministic: ties in the event queue are broken by a
+monotonically increasing sequence number, so two runs with the same seeds
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (e.g. yielding an unknown command)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Delay:
+    """Command: suspend the yielding process for ``dt`` simulated seconds."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"negative delay: {dt}")
+        self.dt = float(dt)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.dt:.6f})"
+
+
+class Event:
+    """A one-shot condition processes can wait on.
+
+    Triggering delivers ``value`` to every waiter.  Triggering twice is an
+    error; use separate events per occurrence.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["_Task"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self.sim._schedule(0.0, task, value)
+
+    def add_waiter(self, task: "_Task") -> None:
+        if self.triggered:
+            self.sim._schedule(0.0, task, self.value)
+        else:
+            self._waiters.append(task)
+
+    def remove_waiter(self, task: "_Task") -> None:
+        if task in self._waiters:
+            self._waiters.remove(task)
+
+
+class Waiter:
+    """Handle returned by :meth:`Simulator.spawn`.
+
+    Exposes completion state, the process return value, and an
+    :meth:`interrupt` hook.  A waiter is itself awaitable from other
+    processes via its :attr:`done_event`.
+    """
+
+    __slots__ = ("task", "done_event")
+
+    def __init__(self, task: "_Task", done_event: Event):
+        self.task = task
+        self.done_event = done_event
+
+    @property
+    def done(self) -> bool:
+        return self.task.finished
+
+    @property
+    def result(self) -> Any:
+        if not self.task.finished:
+            raise SimulationError("process still running")
+        if self.task.error is not None:
+            raise self.task.error
+        return self.task.result
+
+    def interrupt(self, cause: Any = None) -> None:
+        self.task.interrupt(cause)
+
+
+class _Task:
+    """Internal driver for one process generator."""
+
+    __slots__ = ("sim", "gen", "finished", "result", "error", "done_event",
+                 "_waiting_on", "_stack", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "proc")
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done_event = Event(sim)
+        self._waiting_on: Optional[Event] = None
+        # Stack of suspended parent generators (sub-process calls).
+        self._stack: List[Generator] = []
+
+    def interrupt(self, cause: Any = None) -> None:
+        if self.finished:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        self.sim._schedule(0.0, self, Interrupt(cause))
+
+    def step(self, send_value: Any) -> None:
+        """Advance the generator until it suspends again or finishes."""
+        self._waiting_on = None
+        while True:
+            try:
+                if isinstance(send_value, Interrupt):
+                    cmd = self.gen.throw(send_value)
+                elif isinstance(send_value, _Raise):
+                    cmd = self.gen.throw(send_value.error)
+                else:
+                    cmd = self.gen.send(send_value)
+            except StopIteration as stop:
+                value = stop.value
+                if self._stack:
+                    self.gen = self._stack.pop()
+                    send_value = value
+                    continue
+                self._finish(result=value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate to parent
+                if self._stack:
+                    self.gen = self._stack.pop()
+                    send_value = _Raise(exc)
+                    continue
+                self._finish(error=exc)
+                return
+
+            if isinstance(cmd, Delay):
+                self.sim._schedule(cmd.dt, self, None)
+                return
+            if isinstance(cmd, Event):
+                self._waiting_on = cmd
+                cmd.add_waiter(self)
+                return
+            if isinstance(cmd, Waiter):
+                if cmd.done:
+                    send_value = _result_or_raise(cmd)
+                    continue
+                self._waiting_on = cmd.done_event
+                cmd.done_event.add_waiter(self)
+                return
+            if _is_generator(cmd):
+                self._stack.append(self.gen)
+                self.gen = cmd
+                send_value = None
+                continue
+            raise SimulationError(f"process {self.name} yielded {cmd!r}")
+
+    def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self.finished = True
+        self.result = result
+        self.error = error
+        if error is not None:
+            if not self.done_event._waiters:
+                # Nobody is waiting: surface the failure immediately so
+                # bugs do not pass silently.
+                raise error
+            self.done_event.trigger(_Raise(error))
+        else:
+            self.done_event.trigger(result)
+
+
+class _Raise:
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+def _result_or_raise(waiter: Waiter) -> Any:
+    if waiter.task.error is not None:
+        return _Raise(waiter.task.error)
+    return waiter.task.result
+
+
+def _is_generator(obj: Any) -> bool:
+    return hasattr(obj, "send") and hasattr(obj, "throw")
+
+
+class Simulator:
+    """Deterministic event loop with a virtual clock in seconds."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, _Task, Any]] = []
+        self._seq = itertools.count()
+        self._callbacks: List[Tuple[float, int, Callable[[], None]]] = []
+
+    # -- process management -------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Waiter:
+        """Start a process generator; returns a :class:`Waiter`."""
+        task = _Task(self, gen, name=name)
+        self._schedule(0.0, task, None)
+        return Waiter(task, task.done_event)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"call_at into the past: {when} < {self.now}")
+        heapq.heappush(self._callbacks, (when, next(self._seq), fn))
+
+    def _schedule(self, dt: float, task: _Task, value: Any) -> None:
+        heapq.heappush(self._queue, (self.now + dt, next(self._seq), task, value))
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain events; stop at ``until`` (simulated seconds) if given."""
+        while True:
+            next_time = self._peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            self._step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn ``gen`` and run until it completes; return its value."""
+        waiter = self.spawn(gen, name=name)
+        while not waiter.done:
+            if self._peek_time() is None:
+                raise SimulationError(
+                    f"deadlock: process {name or 'proc'} never completed")
+            self._step()
+        return waiter.result
+
+    def _peek_time(self) -> Optional[float]:
+        times: List[float] = []
+        if self._queue:
+            times.append(self._queue[0][0])
+        if self._callbacks:
+            times.append(self._callbacks[0][0])
+        return min(times) if times else None
+
+    def _step(self) -> None:
+        use_callback = False
+        if self._callbacks:
+            if not self._queue or self._callbacks[0][:2] < self._queue[0][:2]:
+                use_callback = True
+        if use_callback:
+            when, _seq, fn = heapq.heappop(self._callbacks)
+            self.now = when
+            fn()
+            return
+        when, _seq, task, value = heapq.heappop(self._queue)
+        self.now = when
+        if not task.finished:
+            task.step(value)
+
+    # -- conveniences --------------------------------------------------------
+
+    def all_of(self, waiters: Iterable[Waiter]) -> Generator:
+        """Process helper: wait for every waiter, return list of results."""
+        def _gather():
+            results = []
+            for waiter in waiters:
+                value = yield waiter
+                results.append(value)
+            return results
+        return _gather()

@@ -1,0 +1,168 @@
+"""Calibrated latency model.
+
+Every timing constant used by the simulation lives here, annotated with the
+paper section or table it was calibrated against.  Durations are in
+**seconds**; sizes in bytes.  The defaults reproduce the testbed of §9.1
+(dual Xeon 6454S, Samsung CXL device, Soft-RoCE RDMA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+US = 1e-6
+MS = 1e-3
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+PAGE_SIZE = 4096
+
+
+@dataclass
+class NamespaceLatency:
+    """Sandbox namespace costs (Table 1 and §3.3)."""
+
+    # Table 1: network env takes 80 ms alone; §3.3: 400 ms at 15-way
+    # concurrency (veth/bridge setup serialises on rtnl_lock).
+    netns_base: float = 80 * MS
+    netns_per_concurrent: float = 23 * MS
+    netns_max: float = 10.0            # Table 1 upper bound under heavy load
+    # Table 1: "other" namespaces (pid, uts, ipc, time) are <1 ms total.
+    other_ns: float = 0.6 * MS
+    mntns: float = 1.0 * MS
+
+    def netns_create(self, concurrency: int) -> float:
+        cost = self.netns_base + self.netns_per_concurrent * max(0, concurrency - 1)
+        return min(cost, self.netns_max)
+
+
+@dataclass
+class CgroupLatency:
+    """Cgroup costs (§4.1, §5.2.2)."""
+
+    create_min: float = 16 * MS
+    create_max: float = 32 * MS
+    migrate_min: float = 10 * MS       # RCU grace-period wait on the
+    migrate_max: float = 50 * MS       # global threadgroup rwsem (Fig 14)
+    clone_into_min: float = 100 * US   # CLONE_INTO_CGROUP bypasses the
+    clone_into_max: float = 300 * US   # migration path entirely (§5.2.2)
+    reconfigure: float = 500 * US      # rewrite limits on a pooled cgroup
+
+
+@dataclass
+class RootfsLatency:
+    """Rootfs / mount costs (Table 1, §5.2.1)."""
+
+    mount_syscall: float = 3 * MS
+    mknod: float = 0.5 * MS
+    pivot_root: float = 2 * MS
+    # Cold start: >9 mounts, 6 mkdev, 6 mknod, 1 pivot_root (§5.2.1); with
+    # image pulls / overlay assembly Table 1 reports 10-800 ms total.
+    overlay_assemble: float = 12 * MS
+    # TrEnv reconfiguration: 2 mounts minimum, typically <1 ms (§9.4).
+    reconfig_mount: float = 0.4 * MS
+    purge_upper_sync: float = 2.5 * MS   # delete upper dir + remount
+    criu_rootfs_restore: float = 30 * MS  # §9.4: >30 ms in CRIU
+
+
+@dataclass
+class MemoryLatency:
+    """Memory restore / access costs (§3.3, §5.1, §9.1)."""
+
+    # Fig 4: 60 MB image copies in ~60 ms from tmpfs; 360 MB in ~220 ms.
+    # Linear fit: ~0.53 ms/MB + ~28 ms base (mmap storm + pte setup).
+    copy_per_byte: float = 0.53 * MS / MB
+    copy_base: float = 4 * MS
+    mmap_syscall: float = 6 * US       # per-VMA mmap during CRIU restore
+    # mm-template attach copies only metadata (<1 MB, §4): one syscall.
+    mmt_attach_base: float = 350 * US
+    mmt_attach_per_vma: float = 1.2 * US   # dup page-table metadata
+    # Fault handling costs.
+    minor_fault: float = 2.2 * US      # anonymous zero-fill / map fault
+    cow_fault: float = 3.0 * US        # fault + 4 KiB copy + TLB shootdown
+    userfaultfd_fault: float = 9.0 * US  # REAP/FaaSnap userspace handler hop
+    # Raw media latencies (§9.1: "641.1 ns for CXL and 6 µs for RDMA").
+    dram_load: float = 0.1 * US        # ~100 ns cache-missing load
+    cxl_load: float = 0.6411 * US     # byte-addressable, no fault needed
+    rdma_fetch_4k: float = 6.0 * US    # per-4 KiB one-sided read
+    nas_fetch_4k: float = 60.0 * US    # SSD/NAS block fetch (§4.2)
+    # RDMA tail instability under load (§9.5: ~5x cliffs in bursts).
+    rdma_tail_factor: float = 5.0
+    rdma_contention_knee: int = 8      # concurrent fetchers before cliff
+
+
+@dataclass
+class ProcessLatency:
+    """Process / CRIU costs (Table 1)."""
+
+    fork: float = 0.3 * MS
+    clone_thread: float = 60 * US
+    # Table 1 "Other": multi-thread context, sockets, fds => 3-15 ms.
+    criu_misc_base: float = 3 * MS
+    criu_misc_per_thread: float = 55 * US
+    criu_misc_per_fd: float = 12 * US
+    exec_spawn: float = 1.2 * MS       # execve + dynamic linking
+    kill_process: float = 0.4 * MS     # SIGKILL + reap during cleanse
+
+
+@dataclass
+class VMLatency:
+    """MicroVM costs (§6, §9.6)."""
+
+    vmm_spawn: float = 25 * MS           # hypervisor process + jailer
+    guest_boot: float = 125 * MS         # kernel boot to init (microVM)
+    # Vanilla Cloud Hypervisor restores by copying the full guest image:
+    # >700 ms for a 2 GB guest (§9.6.1) => ~0.35 ms/MB.
+    restore_copy_per_byte: float = 0.35 * MS / MB
+    restore_base: float = 18 * MS
+    # TrEnv restores via one mmap of the template/DAX device (§7).
+    mmap_restore: float = 6 * MS
+    vm_exit: float = 1.4 * US            # page-fault VM exit roundtrip
+    virtio_blk_io_4k: float = 4 * US     # para-virt block IO (guest+host hop)
+    pmem_dax_load: float = 0.25 * US     # DAX read from host cache, no exit
+    net_setup_e2b: float = 97 * MS       # §9.6.1: E2B network env setup
+    cgroup_migrate_e2b: float = 63 * MS  # §9.6.1: E2B cgroup migration
+    snapshot_resume: float = 12 * MS     # resume vCPUs from paused state
+
+
+@dataclass
+class AgentLatency:
+    """Agent-side tool costs (§2, §9.6)."""
+
+    browser_launch: float = 1.8         # Chromium cold launch in a microVM
+    browser_tab_open: float = 0.35      # new tab in a running browser
+    browser_shared_attach: float = 0.08  # attach to the shared pool browser
+    tool_call_base: float = 30 * MS     # interpreter/tool dispatch overhead
+    page_render_cpu: float = 0.9        # CPU seconds per heavy page render
+
+
+@dataclass
+class LatencyModel:
+    """Aggregate latency model passed to every component."""
+
+    ns: NamespaceLatency = field(default_factory=NamespaceLatency)
+    cgroup: CgroupLatency = field(default_factory=CgroupLatency)
+    rootfs: RootfsLatency = field(default_factory=RootfsLatency)
+    mem: MemoryLatency = field(default_factory=MemoryLatency)
+    proc: ProcessLatency = field(default_factory=ProcessLatency)
+    vm: VMLatency = field(default_factory=VMLatency)
+    agent: AgentLatency = field(default_factory=AgentLatency)
+
+    def memory_copy(self, nbytes: int) -> float:
+        """Time to copy ``nbytes`` of snapshot memory from tmpfs."""
+        return self.mem.copy_base + nbytes * self.mem.copy_per_byte
+
+    def rdma_fetch(self, npages: int, concurrency: int = 1) -> float:
+        """Time to fault in ``npages`` over RDMA at a given fan-in."""
+        per_page = self.mem.rdma_fetch_4k + self.mem.minor_fault
+        knee = self.mem.rdma_contention_knee
+        if concurrency > knee:
+            # §9.5: heavy RDMA traffic exacerbates CPU load and flow
+            # interference; model a linear climb toward the tail factor.
+            overload = min(1.0, (concurrency - knee) / (3.0 * knee))
+            per_page *= 1.0 + (self.mem.rdma_tail_factor - 1.0) * overload
+        return npages * per_page
+
+    def cxl_read_overhead(self, nloads: int) -> float:
+        """Extra time for ``nloads`` cache-missing loads served from CXL."""
+        return nloads * (self.mem.cxl_load - self.mem.dram_load)

@@ -1,0 +1,84 @@
+"""Seeded, forkable randomness.
+
+Every stochastic choice in the reproduction flows through a
+:class:`SeededRNG` so experiments are reproducible run-to-run.  Substreams
+are derived by name, so adding a new consumer never perturbs existing
+streams (a common source of irreproducibility in simulators).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class SeededRNG:
+    """Thin wrapper over :class:`numpy.random.Generator` with named forks."""
+
+    def __init__(self, seed: int = 0, path: str = "root"):
+        self.seed = int(seed)
+        self.path = path
+        self._gen = np.random.default_rng(_digest(seed, path))
+
+    def fork(self, name: str) -> "SeededRNG":
+        """Derive an independent substream identified by ``name``."""
+        return SeededRNG(self.seed, f"{self.path}/{name}")
+
+    # -- scalar draws ---------------------------------------------------------
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return float(self._gen.uniform(lo, hi))
+
+    def exponential(self, mean: float) -> float:
+        return float(self._gen.exponential(mean))
+
+    def normal(self, mean: float, std: float) -> float:
+        return float(self._gen.normal(mean, std))
+
+    def lognormal(self, mean: float, sigma: float) -> float:
+        return float(self._gen.lognormal(mean, sigma))
+
+    def pareto(self, shape: float, scale: float) -> float:
+        """Pareto draw with minimum value ``scale`` (classic Lomax + shift)."""
+        return float(scale * (1.0 + self._gen.pareto(shape)))
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Integer in ``[lo, hi)``."""
+        return int(self._gen.integers(lo, hi))
+
+    def random(self) -> float:
+        return float(self._gen.random())
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return seq[self.randint(0, len(seq))]
+
+    def weighted_choice(self, seq: Sequence[T], weights: Sequence[float]) -> T:
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        probs = np.asarray(weights, dtype=float) / total
+        return seq[int(self._gen.choice(len(seq), p=probs))]
+
+    # -- bulk draws ------------------------------------------------------------
+
+    def sample_pages(self, n_pages: int, count: int) -> np.ndarray:
+        """Distinct page indices: ``count`` of ``n_pages`` without replacement."""
+        count = min(count, n_pages)
+        return self._gen.choice(n_pages, size=count, replace=False)
+
+    def poisson_counts(self, lam: float, size: int) -> np.ndarray:
+        return self._gen.poisson(lam, size=size)
+
+    def shuffled(self, seq: Sequence[T]) -> List[T]:
+        out = list(seq)
+        self._gen.shuffle(out)  # type: ignore[arg-type]
+        return out
+
+
+def _digest(seed: int, path: str) -> int:
+    raw = hashlib.sha256(f"{seed}:{path}".encode()).digest()
+    return int.from_bytes(raw[:8], "little")

@@ -1,0 +1,24 @@
+"""MicroVM substrate (Firecracker / Cloud Hypervisor model).
+
+Models what matters for the paper's VM-side claims:
+
+* restore paths — vanilla full-copy (>700 ms for 2 GB, §9.6.1), lazy
+  userfaultfd-style (REAP/FaaSnap), and TrEnv's single-mmap/template path;
+* guest/host page-cache duplication under virtio-blk, and its elimination
+  with a shared read-only virtio-pmem base + O_DIRECT writable overlay
+  (§6.3, Figure 16);
+* the jailer sandbox around the VMM (namespaces + cgroup), which is what
+  makes repurposable sandboxes applicable to VMs (§6).
+"""
+
+from repro.vm.microvm import GuestConfig, MicroVM, StorageMode, VMState
+from repro.vm.hypervisor import Hypervisor, RestoreMode
+
+__all__ = [
+    "GuestConfig",
+    "Hypervisor",
+    "MicroVM",
+    "RestoreMode",
+    "StorageMode",
+    "VMState",
+]

@@ -1,0 +1,35 @@
+"""Workloads: the evaluated function suite and arrival-pattern generators.
+
+* :mod:`repro.workloads.functions` — the ten SeBS/FunctionBench functions
+  of Table 4 (DH, JS, PR, IR, IP, VP, CH, CR, JJS, IFR).
+* :mod:`repro.workloads.synthetic` — W1 (bursty) and W2 (diurnal, tight
+  memory) from §9.1.
+* :mod:`repro.workloads.azure` / :mod:`repro.workloads.huawei` —
+  synthesised industry traces with the published per-minute shapes (§9.3).
+"""
+
+from repro.workloads.functions import (
+    FUNCTIONS,
+    FunctionProfile,
+    function_by_name,
+)
+from repro.workloads.synthetic import (
+    ArrivalEvent,
+    Workload,
+    make_w1_bursty,
+    make_w2_diurnal,
+)
+from repro.workloads.azure import make_azure_workload
+from repro.workloads.huawei import make_huawei_workload
+
+__all__ = [
+    "ArrivalEvent",
+    "FUNCTIONS",
+    "FunctionProfile",
+    "Workload",
+    "function_by_name",
+    "make_azure_workload",
+    "make_huawei_workload",
+    "make_w1_bursty",
+    "make_w2_diurnal",
+]

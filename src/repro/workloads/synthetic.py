@@ -1,0 +1,130 @@
+"""Synthetic workloads W1 (bursty) and W2 (diurnal) from §9.1.
+
+W1 replays bursty traffic whose inter-burst gaps exceed the keep-alive
+threshold, defeating warm caching; W2 emulates diurnal fluctuations while
+cycling through functions under a tight (32 GB) memory cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import math
+
+from repro.mem.layout import GB
+from repro.sim.rng import SeededRNG
+from repro.workloads.functions import FUNCTIONS, FunctionProfile
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One invocation request: when, and of which function."""
+
+    time: float
+    function: str
+
+    def __lt__(self, other: "ArrivalEvent") -> bool:
+        return (self.time, self.function) < (other.time, other.function)
+
+
+@dataclass
+class Workload:
+    """A named arrival schedule plus its platform configuration."""
+
+    name: str
+    events: List[ArrivalEvent]
+    duration: float
+    soft_cap_bytes: Optional[int] = 64 * GB
+    keep_alive: float = 600.0          # seconds, §9.1 schedule policy
+    warmup: float = 0.0                # measurement excludes t < warmup
+
+    @property
+    def n_invocations(self) -> int:
+        return len(self.events)
+
+    def functions_used(self) -> List[str]:
+        return sorted({e.function for e in self.events})
+
+    def validate(self) -> None:
+        if any(e.time < 0 or e.time > self.duration for e in self.events):
+            raise ValueError(f"workload {self.name} has out-of-range events")
+        if self.events != sorted(self.events):
+            raise ValueError(f"workload {self.name} events not time-sorted")
+
+
+def make_w1_bursty(seed: int = 0,
+                   functions: Sequence[FunctionProfile] = FUNCTIONS,
+                   duration: float = 1800.0,
+                   keep_alive: float = 600.0,
+                   burst_size: int = 12,
+                   bursts_per_function: int = 2,
+                   burst_spread: float = 2.0) -> Workload:
+    """W1: per-function bursts separated by more than the keep-alive.
+
+    Each function fires ``bursts_per_function`` bursts of ``burst_size``
+    near-simultaneous invocations; consecutive bursts of the same function
+    are spaced ``> keep_alive`` apart, so a keep-alive cache has always
+    evicted/expired the instances by the next burst (§9.1 W1).
+    """
+    rng = SeededRNG(seed, "w1")
+    gap = keep_alive * 1.15
+    # Clamp the burst count to what the duration can hold while keeping
+    # the inter-burst gap above the keep-alive threshold.
+    max_bursts = max(1, int(duration / gap) + 1)
+    bursts_per_function = min(bursts_per_function, max_bursts)
+    events: List[ArrivalEvent] = []
+    for i, profile in enumerate(functions):
+        frng = rng.fork(profile.name)
+        # Stagger function phase so bursts of different functions collide
+        # only sometimes (load instability, not lockstep).
+        first = frng.uniform(0.0, min(duration * 0.1, 60.0)) + i * 3.0
+        for b in range(bursts_per_function):
+            base = first + b * gap
+            if base >= duration:
+                break
+            for _ in range(burst_size):
+                t = base + frng.exponential(burst_spread)
+                if t < duration:
+                    events.append(ArrivalEvent(t, profile.name))
+    events.sort()
+    return Workload(name="W1", events=events, duration=duration,
+                    soft_cap_bytes=64 * GB, keep_alive=keep_alive)
+
+
+def make_w2_diurnal(seed: int = 0,
+                    functions: Sequence[FunctionProfile] = FUNCTIONS,
+                    duration: float = 1800.0,
+                    keep_alive: float = 600.0,
+                    mean_rate: float = 2.4,
+                    cycles: float = 3.0,
+                    depth: float = 0.85,
+                    soft_cap_bytes: int = 32 * GB) -> Workload:
+    """W2: diurnal rate modulation, cycling functions, tight memory.
+
+    Arrival intensity follows ``mean_rate * (1 + depth*sin(...))`` and the
+    function choice rotates with the phase, emulating day/night shifts in
+    the popular function mix.  A 32 GB soft cap (§9.1) forces eviction
+    pressure.
+    """
+    rng = SeededRNG(seed, "w2")
+    events: List[ArrivalEvent] = []
+    t = 0.0
+    n_funcs = len(functions)
+    while t < duration:
+        phase = 2.0 * math.pi * cycles * t / duration
+        rate = mean_rate * (1.0 + depth * math.sin(phase))
+        rate = max(rate, 0.05)
+        t += rng.exponential(1.0 / rate)
+        if t >= duration:
+            break
+        # The "popular" function rotates over the cycle; others trickle.
+        lead = int((phase / (2.0 * math.pi) * n_funcs)) % n_funcs
+        if rng.random() < 0.55:
+            func = functions[lead]
+        else:
+            func = functions[rng.randint(0, n_funcs)]
+        events.append(ArrivalEvent(t, func.name))
+    events.sort()
+    return Workload(name="W2", events=events, duration=duration,
+                    soft_cap_bytes=soft_cap_bytes, keep_alive=keep_alive)

@@ -1,0 +1,86 @@
+"""Cross-node sharing: one rack-level pool serves several hosts (§8.2)."""
+
+import pytest
+
+from repro.core.platform import TrEnvPlatform
+from repro.mem.layout import GB, MB
+from repro.mem.pools import CXLPool, DedupStore, RDMAPool
+from repro.node import Node
+from repro.workloads.functions import FUNCTIONS, function_by_name
+
+
+def test_second_host_adds_no_pool_storage():
+    pool = CXLPool(128 * GB)
+    store = DedupStore(pool)
+    platforms = []
+    for host in range(3):
+        node = Node(seed=40 + host, name=f"host{host}")
+        platform = TrEnvPlatform(node, pool, store=store,
+                                 name=f"t-cxl-h{host}")
+        for profile in FUNCTIONS:
+            platform.register_function(profile)
+        platforms.append(platform)
+    used_after_first = None
+    # After the first host registered everything, the pool is saturated:
+    # re-register from a fresh platform and verify zero growth.
+    used = pool.used_bytes
+    node = Node(seed=99)
+    extra = TrEnvPlatform(node, pool, store=store, name="t-cxl-h9")
+    for profile in FUNCTIONS:
+        extra.register_function(profile)
+    assert pool.used_bytes == used
+
+
+def test_shared_store_requires_matching_pool():
+    pool_a = CXLPool(1 * GB)
+    pool_b = CXLPool(1 * GB)
+    store = DedupStore(pool_a)
+    with pytest.raises(ValueError):
+        TrEnvPlatform(Node(), pool_b, store=store)
+
+
+def test_cross_host_invocations_share_read_only_pages():
+    """Two hosts attach the same template; pool storage is single-copy
+    while each host pays only for its own CoW pages."""
+    pool = CXLPool(64 * GB)
+    store = DedupStore(pool)
+    results = []
+    for host in range(2):
+        node = Node(seed=50 + host, name=f"host{host}")
+        platform = TrEnvPlatform(node, pool, store=store,
+                                 name=f"t-cxl-h{host}")
+        platform.register_function(function_by_name("IR"))
+
+        def driver(p=platform):
+            r = yield p.invoke("IR")
+            return r
+
+        r = node.sim.run_process(driver())
+        results.append((node, r))
+    profile = function_by_name("IR")
+    # Pool holds one copy of the IR image (+ runtime shared with nobody
+    # else here).
+    assert pool.used_bytes <= profile.mem_bytes * 1.05
+    for node, _r in results:
+        local = node.memory.usage["function-anon"]
+        assert local < profile.mem_bytes / 50
+
+
+def test_language_runtime_dedups_across_functions_and_hosts():
+    pool = CXLPool(64 * GB)
+    store = DedupStore(pool)
+    py_funcs = [f for f in FUNCTIONS if f.lang == "python"]
+    total_presented = 0
+    for host in range(2):
+        node = Node(seed=60 + host)
+        platform = TrEnvPlatform(node, pool, store=store,
+                                 name=f"t-cxl-h{host}")
+        for profile in py_funcs:
+            platform.register_function(profile)
+            total_presented += profile.mem_bytes
+    # Shared python runtime (38 MB) stored once; everything else unique
+    # per function but single-copy across hosts.
+    unique_expected = sum(p.mem_bytes - p.runtime_shared_bytes
+                          for p in py_funcs) + 38 * MB
+    assert pool.used_bytes == pytest.approx(unique_expected, rel=0.02)
+    assert store.dedup_ratio > 0.5

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.mem.accounting import MemoryAccountant
+from repro.mem.layout import MB, PAGE_SIZE
+
+
+def test_charge_and_breakdown():
+    acct = MemoryAccountant()
+    acct.charge("anon", 10 * MB)
+    acct.charge("cache", 5 * MB)
+    assert acct.current_mb == pytest.approx(15.0)
+    assert acct.breakdown_mb() == {"anon": 10.0, "cache": 5.0}
+
+
+def test_peak_tracks_maximum():
+    acct = MemoryAccountant()
+    acct.charge("anon", 10 * MB)
+    acct.charge("anon", -4 * MB)
+    acct.charge("anon", 2 * MB)
+    assert acct.peak_mb == pytest.approx(10.0)
+    assert acct.current_mb == pytest.approx(8.0)
+
+
+def test_negative_category_raises():
+    acct = MemoryAccountant()
+    acct.charge("anon", MB)
+    with pytest.raises(AssertionError):
+        acct.charge("anon", -2 * MB)
+
+
+def test_charge_pages():
+    acct = MemoryAccountant()
+    acct.charge_pages("anon", 3)
+    assert acct.current_bytes == 3 * PAGE_SIZE
+
+
+def test_page_delta_hook():
+    acct = MemoryAccountant()
+    hook = acct.page_delta_hook("heap")
+    hook(5)
+    hook(-2)
+    assert acct.current_bytes == 3 * PAGE_SIZE
+
+
+def test_soft_cap_violations_counted():
+    acct = MemoryAccountant(soft_cap_bytes=5 * MB)
+    acct.charge("anon", 4 * MB)
+    assert acct.cap_violations == 0
+    acct.charge("anon", 2 * MB)
+    assert acct.cap_violations == 1
+    assert acct.over_soft_cap()
+
+
+def test_timeline_follows_clock():
+    t = [0.0]
+    acct = MemoryAccountant(clock=lambda: t[0])
+    acct.charge("anon", MB)
+    t[0] = 5.0
+    acct.charge("anon", MB)
+    times = [when for when, _ in acct.timeline]
+    assert times == [0.0, 5.0]
+
+
+def test_peak_time_recorded():
+    t = [0.0]
+    acct = MemoryAccountant(clock=lambda: t[0])
+    acct.charge("anon", MB)
+    t[0] = 3.0
+    acct.charge("anon", MB)
+    t[0] = 4.0
+    acct.charge("anon", -MB)
+    assert acct.peak_time == 3.0
+
+
+def test_integral_mb_seconds():
+    t = [0.0]
+    acct = MemoryAccountant(clock=lambda: t[0])
+    acct.charge("anon", 10 * MB)   # 10 MB from t=0
+    t[0] = 10.0
+    acct.charge("anon", -10 * MB)  # back to 0 at t=10
+    assert acct.integral_mb_seconds() == pytest.approx(100.0)
+
+
+def test_zero_delta_is_noop():
+    acct = MemoryAccountant()
+    acct.charge("anon", 0)
+    assert acct.usage == {}
+    assert acct.timeline == []

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.mem.layout import (PAGE_SIZE, is_page_aligned, page_align,
+                              page_align_up, pages_for_bytes)
+
+
+def test_pages_for_bytes_exact():
+    assert pages_for_bytes(PAGE_SIZE) == 1
+    assert pages_for_bytes(10 * PAGE_SIZE) == 10
+
+
+def test_pages_for_bytes_rounds_up():
+    assert pages_for_bytes(1) == 1
+    assert pages_for_bytes(PAGE_SIZE + 1) == 2
+
+
+def test_pages_for_bytes_zero():
+    assert pages_for_bytes(0) == 0
+
+
+def test_pages_for_bytes_negative_raises():
+    with pytest.raises(ValueError):
+        pages_for_bytes(-1)
+
+
+def test_page_align():
+    assert page_align(0) == 0
+    assert page_align(PAGE_SIZE - 1) == 0
+    assert page_align(PAGE_SIZE) == PAGE_SIZE
+    assert page_align(PAGE_SIZE + 5) == PAGE_SIZE
+
+
+def test_page_align_up():
+    assert page_align_up(0) == 0
+    assert page_align_up(1) == PAGE_SIZE
+    assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+
+
+def test_is_page_aligned():
+    assert is_page_aligned(0)
+    assert is_page_aligned(PAGE_SIZE * 7)
+    assert not is_page_aligned(123)

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.mem.layout import PAGE_SIZE
+from repro.mem.page_cache import FileIdRegistry, PageCache
+
+
+def test_charge_file_counts_pages():
+    cache = PageCache()
+    fresh = cache.charge_file(1, 10 * PAGE_SIZE)
+    assert fresh == 10
+    assert cache.cached_pages == 10
+    assert cache.cached_bytes == 10 * PAGE_SIZE
+
+
+def test_recaching_same_file_is_free():
+    cache = PageCache()
+    cache.charge_file(1, 4 * PAGE_SIZE)
+    fresh = cache.charge_file(1, 4 * PAGE_SIZE)
+    assert fresh == 0
+    assert cache.hits == 4
+
+
+def test_different_files_duplicate():
+    cache = PageCache()
+    cache.charge_file(1, 4 * PAGE_SIZE)
+    fresh = cache.charge_file(2, 4 * PAGE_SIZE)
+    assert fresh == 4
+    assert cache.cached_pages == 8
+
+
+def test_offset_ranges_overlap_correctly():
+    cache = PageCache()
+    cache.charge_file(1, 4 * PAGE_SIZE, offset=0)
+    fresh = cache.charge_file(1, 4 * PAGE_SIZE, offset=2 * PAGE_SIZE)
+    assert fresh == 2
+
+
+def test_evict_file():
+    cache = PageCache()
+    cache.charge_file(1, 4 * PAGE_SIZE)
+    cache.charge_file(2, 2 * PAGE_SIZE)
+    assert cache.evict_file(1) == 4
+    assert cache.cached_pages == 2
+
+
+def test_drop_all():
+    cache = PageCache()
+    cache.charge_file(1, 4 * PAGE_SIZE)
+    assert cache.drop_all() == 4
+    assert cache.cached_pages == 0
+
+
+def test_delta_callback_fires():
+    deltas = []
+    cache = PageCache(on_delta=deltas.append)
+    cache.charge_file(1, 3 * PAGE_SIZE)
+    cache.evict_file(1)
+    assert deltas == [3, -3]
+
+
+def test_partial_page_rounds_up():
+    cache = PageCache()
+    assert cache.charge_file(1, 1) == 1
+
+
+def test_file_id_registry_stable():
+    reg = FileIdRegistry()
+    a = reg.file_id("base-image", "python")
+    b = reg.file_id("base-image", "python")
+    c = reg.file_id("base-image", "node")
+    assert a == b
+    assert a != c

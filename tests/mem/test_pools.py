@@ -1,0 +1,144 @@
+import numpy as np
+import pytest
+
+from repro.mem.layout import MB, PAGE_SIZE
+from repro.mem.pools import (CXLPool, DedupStore, NASPool, RDMAPool,
+                             TieredPool)
+
+
+def test_allocate_pages_returns_distinct_offsets():
+    pool = CXLPool(capacity_bytes=16 * MB)
+    a = pool.allocate_pages(4)
+    b = pool.allocate_pages(4)
+    assert len(np.intersect1d(a, b)) == 0
+    assert pool.used_pages == 8
+
+
+def test_pool_capacity_enforced():
+    pool = RDMAPool(capacity_bytes=2 * PAGE_SIZE)
+    pool.allocate_pages(2)
+    with pytest.raises(MemoryError):
+        pool.allocate_pages(1)
+
+
+def test_cxl_is_byte_addressable_rdma_is_not():
+    assert CXLPool(MB).byte_addressable
+    assert not RDMAPool(MB).byte_addressable
+    assert not NASPool(MB).byte_addressable
+
+
+def test_rdma_fetch_slower_than_cxl():
+    cxl = CXLPool(MB)
+    rdma = RDMAPool(MB)
+    assert rdma.fetch_time(100) > cxl.fetch_time(100)
+
+
+def test_nas_fetch_slowest():
+    assert NASPool(MB).fetch_time(10) > RDMAPool(MB).fetch_time(10)
+
+
+def test_rdma_tail_inflates_under_contention():
+    rdma = RDMAPool(MB)
+    calm = rdma.fetch_time(100, concurrency=1)
+    stormy = rdma.fetch_time(100, concurrency=64)
+    assert stormy > 2 * calm
+
+
+def test_cxl_read_overhead_positive_and_linear():
+    cxl = CXLPool(MB)
+    one = cxl.read_overhead(1000)
+    two = cxl.read_overhead(2000)
+    assert one > 0
+    assert two == pytest.approx(2 * one)
+
+
+def test_rdma_read_overhead_zero():
+    assert RDMAPool(MB).read_overhead(10_000) == 0.0
+
+
+class TestDedupStore:
+    def test_first_image_stores_all_pages(self):
+        store = DedupStore(CXLPool(64 * MB))
+        block = store.store_image(np.arange(100))
+        assert block.npages == 100
+        assert store.unique_pages_stored == 100
+        assert store.dedup_ratio == 0.0
+
+    def test_identical_image_fully_deduped(self):
+        store = DedupStore(CXLPool(64 * MB))
+        first = store.store_image(np.arange(100))
+        second = store.store_image(np.arange(100))
+        assert store.unique_pages_stored == 100
+        assert np.array_equal(first.offsets, second.offsets)
+        assert store.dedup_ratio == pytest.approx(0.5)
+
+    def test_partial_overlap(self):
+        store = DedupStore(CXLPool(64 * MB))
+        store.store_image(np.arange(0, 100))
+        store.store_image(np.arange(50, 150))
+        assert store.unique_pages_stored == 150
+        assert store.pool.used_pages == 150
+
+    def test_duplicate_pages_within_one_image(self):
+        store = DedupStore(CXLPool(64 * MB))
+        block = store.store_image(np.array([7, 7, 7, 8]))
+        assert store.unique_pages_stored == 2
+        assert block.offsets[0] == block.offsets[1] == block.offsets[2]
+        assert block.offsets[3] != block.offsets[0]
+
+    def test_block_nbytes(self):
+        store = DedupStore(CXLPool(64 * MB))
+        block = store.store_image(np.arange(3))
+        assert block.nbytes == 3 * PAGE_SIZE
+
+
+class TestTieredPool:
+    def test_hot_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            TieredPool(CXLPool(MB), RDMAPool(MB), hot_fraction=1.5)
+
+    def test_allocation_splits_between_tiers(self):
+        hot, cold = CXLPool(64 * MB), RDMAPool(64 * MB)
+        tiered = TieredPool(hot, cold, hot_fraction=0.25)
+        tiered.allocate_pages(100)
+        assert hot.used_pages == 25
+        assert cold.used_pages == 75
+
+    def test_fetch_time_delegates_to_cold_tier(self):
+        # Demand fetches only happen on cold pages (hot pages get valid
+        # PTEs), so the fetch cost is the cold tier's.
+        hot, cold = CXLPool(64 * MB), RDMAPool(64 * MB)
+        tiered = TieredPool(hot, cold, hot_fraction=0.5)
+        assert tiered.fetch_time(100) == RDMAPool(MB).fetch_time(100)
+
+    def test_valid_mask_marks_hot_pages_only(self):
+        import numpy as np
+        hot, cold = CXLPool(64 * MB), RDMAPool(64 * MB)
+        tiered = TieredPool(hot, cold, hot_fraction=0.5)
+        offsets = tiered.allocate_pages(10)
+        mask = tiered.valid_mask(offsets)
+        assert mask.sum() == 5
+        # A cold-hot tiered pool with non-addressable hot tier: nothing
+        # can be valid.
+        nas_tiered = TieredPool(RDMAPool(MB), NASPool(MB))
+        offsets = nas_tiered.allocate_pages(4)
+        assert not nas_tiered.valid_mask(offsets).any()
+
+    def test_pure_pool_valid_masks(self):
+        import numpy as np
+        offs = np.arange(5)
+        assert CXLPool(MB).valid_mask(offs).all()
+        assert not RDMAPool(MB).valid_mask(offs).any()
+
+    def test_byte_addressability_follows_hot_tier(self):
+        assert TieredPool(CXLPool(MB), RDMAPool(MB)).byte_addressable
+        assert not TieredPool(RDMAPool(MB), NASPool(MB)).byte_addressable
+
+    def test_split_offsets_roundtrip(self):
+        hot, cold = CXLPool(64 * MB), RDMAPool(64 * MB)
+        tiered = TieredPool(hot, cold, hot_fraction=0.5)
+        offsets = tiered.allocate_pages(10)
+        hot_offs, cold_offs = tiered.split_offsets(offsets)
+        assert len(hot_offs) == 5
+        assert len(cold_offs) == 5
+        assert (cold_offs < 1 << 40).all()

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.mem.trace import AccessTrace
+from repro.sim.rng import SeededRNG
+
+
+def test_generate_respects_fractions():
+    rng = SeededRNG(1)
+    trace = AccessTrace.generate(rng, total_pages=1000, touch_fraction=0.5,
+                                 write_fraction=0.2)
+    assert trace.distinct_reads == 500
+    assert trace.distinct_writes == 100
+
+
+def test_generate_deterministic_per_seed():
+    a = AccessTrace.generate(SeededRNG(5), 1000, 0.5, 0.3)
+    b = AccessTrace.generate(SeededRNG(5), 1000, 0.5, 0.3)
+    assert np.array_equal(a.read_pages, b.read_pages)
+    assert np.array_equal(a.write_pages, b.write_pages)
+
+
+def test_writes_are_subset_of_reads():
+    trace = AccessTrace.generate(SeededRNG(2), 1000, 0.4, 0.5)
+    assert np.isin(trace.write_pages, trace.read_pages).all()
+
+
+def test_read_only_ratio_matches_write_fraction():
+    trace = AccessTrace.generate(SeededRNG(3), 10_000, 0.5, 0.25)
+    assert trace.read_only_ratio == pytest.approx(0.75, abs=0.01)
+
+
+def test_pages_within_bounds_and_distinct():
+    trace = AccessTrace.generate(SeededRNG(4), 500, 1.0, 1.0)
+    assert trace.read_pages.min() >= 0
+    assert trace.read_pages.max() < 500
+    assert len(np.unique(trace.read_pages)) == len(trace.read_pages)
+
+
+def test_invalid_fractions_raise():
+    rng = SeededRNG(0)
+    with pytest.raises(ValueError):
+        AccessTrace.generate(rng, 100, 1.5, 0.5)
+    with pytest.raises(ValueError):
+        AccessTrace.generate(rng, 100, 0.5, -0.1)
+
+
+def test_read_loads_scale_with_touched():
+    trace = AccessTrace.generate(SeededRNG(6), 1000, 0.5, 0.1,
+                                 loads_per_read_page=10)
+    assert trace.read_loads == 5000
+
+
+def test_subset_shrinks_trace():
+    rng = SeededRNG(7)
+    trace = AccessTrace.generate(rng, 1000, 0.8, 0.2)
+    sub = trace.subset(0.5, rng.fork("ws"))
+    assert sub.distinct_reads == trace.distinct_reads // 2
+    assert np.isin(sub.read_pages, trace.read_pages).all()
+    assert np.isin(sub.write_pages, trace.write_pages).all()
+
+
+def test_subset_zero_and_full():
+    rng = SeededRNG(8)
+    trace = AccessTrace.generate(rng, 100, 0.5, 0.5)
+    empty = trace.subset(0.0, rng.fork("a"))
+    assert empty.distinct_reads == 0
+    full = trace.subset(1.0, rng.fork("b"))
+    assert full.distinct_reads == trace.distinct_reads
+
+
+def test_subset_invalid_fraction():
+    rng = SeededRNG(9)
+    trace = AccessTrace.generate(rng, 100, 0.5, 0.5)
+    with pytest.raises(ValueError):
+        trace.subset(2.0, rng)
+
+
+def test_touched_pages_counts_union():
+    trace = AccessTrace(read_pages=np.array([1, 2, 3]),
+                        write_pages=np.array([3, 4]), read_loads=0)
+    assert trace.touched_pages == 4

@@ -1,0 +1,98 @@
+"""Property tests: address-space invariants under arbitrary access mixes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address_space import (PTE_LOCAL, AddressSpace)
+from repro.mem.layout import MB
+from repro.mem.pools import CXLPool, DedupStore, RDMAPool
+
+
+def pages_strategy(total):
+    return st.lists(st.integers(0, total - 1), max_size=50).map(
+        lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+def make_space(total, backend=None):
+    space = AddressSpace("prop")
+    vma = space.add_vma("heap", total)
+    if backend is not None:
+        store = DedupStore(backend(64 * MB))
+        block = store.store_image(np.arange(total))
+        space.bind_remote(vma, block, valid=backend is CXLPool)
+    return space
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data(), st.sampled_from([None, CXLPool, RDMAPool]))
+def test_local_pages_matches_pte_states(data, backend):
+    total = 200
+    space = make_space(total, backend)
+    for _ in range(data.draw(st.integers(1, 4))):
+        reads = data.draw(pages_strategy(total))
+        writes = data.draw(pages_strategy(total))
+        space.access(reads, writes)
+        counted = sum(int(np.count_nonzero(v.state == PTE_LOCAL))
+                      for v in space.vmas)
+        assert counted == space.local_pages
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data(), st.sampled_from([None, CXLPool, RDMAPool]))
+def test_accountant_deltas_track_local_pages(data, backend):
+    total = 150
+    deltas = []
+    space = AddressSpace("prop", on_local_delta=deltas.append)
+    vma = space.add_vma("heap", total)
+    if backend is not None:
+        store = DedupStore(backend(64 * MB))
+        space.bind_remote(vma, store.store_image(np.arange(total)),
+                          valid=backend is CXLPool)
+    reads = data.draw(pages_strategy(total))
+    writes = data.draw(pages_strategy(total))
+    space.access(reads, writes)
+    assert sum(deltas) == space.local_pages
+    space.destroy()
+    assert sum(deltas) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_repeat_access_is_free(data):
+    total = 120
+    space = make_space(total, CXLPool)
+    reads = data.draw(pages_strategy(total))
+    writes = data.draw(pages_strategy(total))
+    space.access(reads, writes)
+    again = space.access(reads, writes)
+    assert again.minor_faults == 0
+    assert again.major_faults == 0
+    assert again.cow_faults == 0
+    assert again.local_pages_allocated == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_local_pages_monotone_under_access(data):
+    total = 120
+    space = make_space(total, RDMAPool)
+    previous = 0
+    for _ in range(3):
+        reads = data.draw(pages_strategy(total))
+        writes = data.draw(pages_strategy(total))
+        space.access(reads, writes)
+        assert space.local_pages >= previous
+        assert space.local_pages <= total
+        previous = space.local_pages
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_writes_produce_at_least_as_much_memory_as_cow(data):
+    total = 100
+    space = make_space(total, CXLPool)
+    writes = data.draw(pages_strategy(total))
+    out = space.access(np.array([], dtype=np.int64), writes)
+    assert out.cow_faults == len(writes)
+    assert space.local_pages == len(writes)

@@ -1,0 +1,95 @@
+"""Property tests: dedup store and page cache invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.layout import MB, PAGE_SIZE
+from repro.mem.page_cache import PageCache
+from repro.mem.pools import CXLPool, DedupStore
+
+images = st.lists(
+    st.lists(st.integers(0, 500), min_size=1, max_size=80).map(
+        lambda xs: np.array(xs, dtype=np.int64)),
+    min_size=1, max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(images)
+def test_unique_pages_equals_union_of_contents(imgs):
+    store = DedupStore(CXLPool(256 * MB))
+    union = set()
+    for img in imgs:
+        store.store_image(img)
+        union |= set(int(c) for c in img)
+        assert store.unique_pages_stored == len(union)
+        assert store.pool.used_pages == len(union)
+
+
+@settings(max_examples=60, deadline=None)
+@given(images)
+def test_same_content_same_offset_across_images(imgs):
+    store = DedupStore(CXLPool(256 * MB))
+    seen = {}
+    for img in imgs:
+        block = store.store_image(img)
+        for cid, off in zip(img, block.offsets):
+            if int(cid) in seen:
+                assert seen[int(cid)] == int(off)
+            else:
+                seen[int(cid)] = int(off)
+
+
+@settings(max_examples=60, deadline=None)
+@given(images)
+def test_dedup_ratio_bounds(imgs):
+    store = DedupStore(CXLPool(256 * MB))
+    for img in imgs:
+        store.store_image(img)
+    assert 0.0 <= store.dedup_ratio < 1.0
+    assert store.total_pages_presented == sum(len(i) for i in imgs)
+
+
+file_ops = st.lists(
+    st.tuples(st.integers(1, 5),                 # file id
+              st.integers(1, 30),                # pages
+              st.integers(0, 20)),               # offset pages
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(file_ops)
+def test_page_cache_counts_distinct_blocks(ops):
+    cache = PageCache()
+    expected = set()
+    for fid, pages, off_pages in ops:
+        cache.charge_file(fid, pages * PAGE_SIZE, offset=off_pages * PAGE_SIZE)
+        for b in range(off_pages, off_pages + pages):
+            expected.add((fid, b))
+        assert cache.cached_pages == len(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(file_ops, st.integers(1, 5))
+def test_page_cache_evict_removes_exactly_one_file(ops, victim):
+    cache = PageCache()
+    expected = set()
+    for fid, pages, off_pages in ops:
+        cache.charge_file(fid, pages * PAGE_SIZE, offset=off_pages * PAGE_SIZE)
+        for b in range(off_pages, off_pages + pages):
+            expected.add((fid, b))
+    victims = {key for key in expected if key[0] == victim}
+    assert cache.evict_file(victim) == len(victims)
+    assert cache.cached_pages == len(expected) - len(victims)
+
+
+@settings(max_examples=40, deadline=None)
+@given(file_ops)
+def test_page_cache_delta_hook_consistent(ops):
+    total = [0]
+    cache = PageCache(on_delta=lambda d: total.__setitem__(0, total[0] + d))
+    for fid, pages, off_pages in ops:
+        cache.charge_file(fid, pages * PAGE_SIZE, offset=off_pages * PAGE_SIZE)
+    assert total[0] == cache.cached_pages
+    cache.drop_all()
+    assert total[0] == 0

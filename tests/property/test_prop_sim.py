@@ -1,0 +1,131 @@
+"""Property tests: event engine, fair-share CPU, accounting, traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.accounting import MemoryAccountant
+from repro.mem.trace import AccessTrace
+from repro.sim.cpu import FairShareCPU
+from repro.sim.engine import Delay, Simulator
+from repro.sim.rng import SeededRNG
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1,
+                max_size=20))
+def test_clock_is_monotone_and_sums_delays(delays):
+    sim = Simulator()
+    stamps = []
+
+    def proc():
+        for d in delays:
+            yield Delay(d)
+            stamps.append(sim.now)
+
+    sim.run_process(proc())
+    assert stamps == sorted(stamps)
+    assert sim.now == pytest.approx(sum(delays))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0.01, 3.0), min_size=1, max_size=12),
+       st.integers(1, 4))
+def test_processor_sharing_conservation(works, cores):
+    """Total CPU work in == integrated busy time out."""
+    sim = Simulator()
+    cpu = FairShareCPU(sim, cores)
+
+    def task(w):
+        yield from cpu.compute(w)
+
+    for w in works:
+        sim.spawn(task(w))
+    sim.run()
+    total_work = sum(works)
+    # Conservation: busy core-seconds equal the work submitted.
+    assert cpu.utilization() * cores * sim.now == pytest.approx(
+        total_work, rel=1e-6)
+    # Makespan bounds: no faster than perfect parallelism, no slower
+    # than fully serial.
+    assert sim.now >= total_work / cores - 1e-9
+    assert sim.now <= total_work + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0.01, 3.0), min_size=2, max_size=10))
+def test_processor_sharing_fairness(works):
+    """Equal work submitted together finishes together."""
+    sim = Simulator()
+    cpu = FairShareCPU(sim, 1)
+    finish = []
+    w = works[0]
+
+    def task():
+        yield from cpu.compute(w)
+        finish.append(sim.now)
+
+    n = len(works)
+    for _ in range(n):
+        sim.spawn(task())
+    sim.run()
+    assert max(finish) - min(finish) < 1e-9
+    assert finish[0] == pytest.approx(w * n)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abc"),
+                          st.integers(-50, 100)), max_size=30))
+def test_accounting_current_is_sum_of_categories(ops):
+    acct = MemoryAccountant()
+    applied = {}
+    for cat, delta in ops:
+        if applied.get(cat, 0) + delta < 0:
+            continue  # accountant forbids negative categories
+        acct.charge(cat, delta)
+        applied[cat] = applied.get(cat, 0) + delta
+    assert acct.current_bytes == sum(applied.values())
+    assert acct.peak_bytes >= acct.current_bytes
+    assert acct.peak_bytes >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**32), st.integers(100, 2000),
+       st.floats(0.01, 1.0), st.floats(0.0, 1.0))
+def test_trace_generation_invariants(seed, total, touch, write):
+    rng = SeededRNG(seed)
+    trace = AccessTrace.generate(rng, total, touch, write,
+                                 writable_start=total // 4)
+    assert np.isin(trace.write_pages, trace.read_pages).all()
+    if len(trace.read_pages):
+        assert trace.read_pages.min() >= 0
+        assert trace.read_pages.max() < total
+    if len(trace.write_pages):
+        assert trace.write_pages.min() >= total // 4
+    assert len(np.unique(trace.read_pages)) == len(trace.read_pages)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32), st.floats(0.0, 0.5))
+def test_trace_jitter_preserves_invariants(seed, fraction):
+    rng = SeededRNG(seed)
+    total = 800
+    base = AccessTrace.generate(rng, total, 0.4, 0.3,
+                                writable_start=total // 5)
+    jit = base.jittered(rng.fork("j"), total, fraction)
+    assert np.isin(jit.write_pages, jit.read_pages).all()
+    if len(jit.write_pages):
+        assert jit.write_pages.min() >= total // 5
+    assert len(np.unique(jit.read_pages)) == len(jit.read_pages)
+    # Jitter keeps the trace roughly the same size.
+    assert abs(len(jit.read_pages) - len(base.read_pages)) \
+        <= max(10, 0.6 * fraction * len(base.read_pages) + 5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31), st.text("abc/", min_size=1, max_size=12))
+def test_rng_fork_determinism(seed, name):
+    a = SeededRNG(seed).fork(name)
+    b = SeededRNG(seed).fork(name)
+    assert [a.random() for _ in range(3)] == [b.random() for _ in range(3)]

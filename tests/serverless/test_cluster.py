@@ -1,0 +1,89 @@
+import pytest
+
+from repro.mem.layout import GB
+from repro.mem.pools import CXLPool, DedupStore
+from repro.node import Node
+from repro.serverless.cluster import (Cluster, LeastLoaded, RoundRobin,
+                                      WarmAffinity, make_trenv_cluster)
+from repro.sim.engine import Simulator
+from repro.workloads.functions import FUNCTIONS
+from repro.workloads.synthetic import make_w1_bursty
+
+
+def small_workload(seed=0):
+    return make_w1_bursty(seed=seed, duration=700.0, burst_size=4,
+                          bursts_per_function=1)
+
+
+class TestConstruction:
+    def test_requires_platforms(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_requires_shared_simulator(self):
+        from repro.core.platform import TrEnvPlatform
+        a = Node(seed=1)
+        b = Node(seed=2)   # different sim
+        pa = TrEnvPlatform(a, CXLPool(8 * GB, a.latency))
+        pb = TrEnvPlatform(b, CXLPool(8 * GB, b.latency))
+        with pytest.raises(ValueError):
+            Cluster([pa, pb])
+
+    def test_factory_builds_shared_rack(self):
+        pool = CXLPool(128 * GB)
+        cluster = make_trenv_cluster(3, pool)
+        assert len(cluster.platforms) == 3
+        assert all(p.pool is pool for p in cluster.platforms)
+        assert len({id(p.store) for p in cluster.platforms}) == 1
+
+
+class TestDispatch:
+    def test_round_robin_spreads(self):
+        pool = CXLPool(128 * GB)
+        cluster = make_trenv_cluster(4, pool, policy=RoundRobin())
+        result = cluster.run_workload(small_workload())
+        assert len(result.dispatch_counts) == 4
+        counts = list(result.dispatch_counts.values())
+        assert max(counts) - min(counts) <= 1
+
+    def test_warm_affinity_reuses_hosts(self):
+        pool = CXLPool(128 * GB)
+        cluster = make_trenv_cluster(4, pool, policy=WarmAffinity())
+        result = cluster.run_workload(small_workload())
+        # Warm hits dominate: repeat invocations land on warm hosts.
+        kinds = result.recorder.start_kind_counts()
+        assert kinds.get("warm", 0) > 0
+
+    def test_least_loaded_picks_idle_host(self):
+        pool = CXLPool(128 * GB)
+        cluster = make_trenv_cluster(2, pool, policy=LeastLoaded())
+        result = cluster.run_workload(small_workload())
+        assert result.recorder.count() == small_workload().n_invocations
+
+
+class TestRackSharing:
+    def test_pool_stores_one_copy_for_all_hosts(self):
+        pool = CXLPool(128 * GB)
+        cluster = make_trenv_cluster(4, pool, policy=RoundRobin())
+        cluster.run_workload(small_workload())
+        total_images = sum(f.mem_bytes for f in FUNCTIONS)
+        # Rack pool holds at most one deduplicated copy of the suite.
+        assert pool.used_bytes < total_images
+
+    def test_all_invocations_complete_and_merge(self):
+        pool = CXLPool(128 * GB)
+        wl = small_workload()
+        cluster = make_trenv_cluster(2, pool)
+        result = cluster.run_workload(wl)
+        assert result.recorder.count() == wl.n_invocations
+        assert result.total_peak_mb == pytest.approx(
+            sum(result.per_node_peak_mb))
+        assert result.pool_used_mb > 0
+
+    def test_per_node_memory_far_below_image_total(self):
+        pool = CXLPool(128 * GB)
+        cluster = make_trenv_cluster(2, pool)
+        result = cluster.run_workload(small_workload())
+        total_images_mb = sum(f.mem_bytes for f in FUNCTIONS) / (1 << 20)
+        for peak in result.per_node_peak_mb:
+            assert peak < total_images_mb / 2

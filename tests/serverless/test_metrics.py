@@ -1,0 +1,91 @@
+import math
+
+import pytest
+
+from repro.serverless.metrics import (InvocationResult, LatencyRecorder,
+                                      percentile)
+
+
+def result(fn="DH", arrival=0.0, kind="cold", startup=0.1, exec_=0.2):
+    return InvocationResult(function=fn, arrival=arrival, start_kind=kind,
+                            startup=startup, exec=exec_,
+                            e2e=startup + exec_)
+
+
+def test_percentile_basic():
+    assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+    assert percentile([1, 2, 3, 4, 5], 100) == 5.0
+    assert percentile([1, 2, 3, 4, 5], 0) == 1.0
+
+
+def test_percentile_empty_is_nan():
+    assert math.isnan(percentile([], 50))
+
+
+def test_percentile_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([1], 150)
+
+
+def test_result_consistency_enforced():
+    with pytest.raises(ValueError):
+        InvocationResult(function="x", arrival=0, start_kind="cold",
+                         startup=1.0, exec=1.0, e2e=0.5)
+
+
+def test_recorder_filters_warmup():
+    rec = LatencyRecorder(warmup=100.0)
+    rec.record(result(arrival=50.0))
+    rec.record(result(arrival=150.0))
+    assert rec.count() == 1
+    assert rec.measured()[0].arrival == 150.0
+
+
+def test_recorder_per_function_selection():
+    rec = LatencyRecorder()
+    rec.record(result(fn="A", startup=0.1))
+    rec.record(result(fn="B", startup=0.5))
+    assert rec.functions() == ["A", "B"]
+    assert rec.count("A") == 1
+    assert rec.startup_percentile(50, "B") == pytest.approx(0.5)
+
+
+def test_cdf_monotone():
+    rec = LatencyRecorder()
+    for i in range(10):
+        rec.record(result(startup=0.1 * i))
+    vals, probs = rec.cdf()
+    assert (vals[1:] >= vals[:-1]).all()
+    assert probs[-1] == 1.0
+    assert len(vals) == 10
+
+
+def test_cdf_empty():
+    rec = LatencyRecorder()
+    vals, probs = rec.cdf()
+    assert len(vals) == 0
+
+
+def test_start_kind_counts():
+    rec = LatencyRecorder()
+    rec.record(result(kind="cold"))
+    rec.record(result(kind="warm"))
+    rec.record(result(kind="warm"))
+    assert rec.start_kind_counts() == {"cold": 1, "warm": 2}
+
+
+def test_summary_shape():
+    rec = LatencyRecorder()
+    for i in range(5):
+        rec.record(result(fn="A", startup=0.01 * i))
+    summary = rec.summary()
+    assert set(summary) == {"A"}
+    assert summary["A"]["count"] == 5
+    assert summary["A"]["p99_e2e"] >= summary["A"]["p50_e2e"]
+
+
+def test_mean_e2e():
+    rec = LatencyRecorder()
+    rec.record(result(startup=0.1, exec_=0.1))
+    rec.record(result(startup=0.3, exec_=0.1))
+    assert rec.mean_e2e() == pytest.approx(0.3)

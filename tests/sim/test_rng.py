@@ -1,0 +1,93 @@
+"""Tests for seeded RNG substreams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import SeededRNG
+
+
+def test_same_seed_same_stream():
+    a = SeededRNG(7)
+    b = SeededRNG(7)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_seed_different_stream():
+    a = SeededRNG(1)
+    b = SeededRNG(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_independent_of_draw_order():
+    root1 = SeededRNG(3)
+    _ = root1.random()  # consuming root entropy must not shift forks
+    fork1 = root1.fork("child")
+
+    root2 = SeededRNG(3)
+    fork2 = root2.fork("child")
+    assert [fork1.random() for _ in range(5)] == [fork2.random() for _ in range(5)]
+
+
+def test_fork_names_differ():
+    root = SeededRNG(3)
+    a = root.fork("a")
+    b = root.fork("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_nested_fork_path():
+    rng = SeededRNG(0).fork("x").fork("y")
+    assert rng.path == "root/x/y"
+
+
+def test_uniform_bounds():
+    rng = SeededRNG(11)
+    for _ in range(100):
+        v = rng.uniform(2.0, 3.0)
+        assert 2.0 <= v < 3.0
+
+
+def test_randint_bounds():
+    rng = SeededRNG(11)
+    vals = {rng.randint(0, 4) for _ in range(200)}
+    assert vals == {0, 1, 2, 3}
+
+
+def test_choice_and_weighted_choice():
+    rng = SeededRNG(5)
+    assert rng.choice(["only"]) == "only"
+    picks = [rng.weighted_choice(["a", "b"], [0.0, 1.0]) for _ in range(20)]
+    assert set(picks) == {"b"}
+
+
+def test_weighted_choice_rejects_nonpositive():
+    rng = SeededRNG(5)
+    with pytest.raises(ValueError):
+        rng.weighted_choice(["a"], [0.0])
+
+
+def test_pareto_minimum():
+    rng = SeededRNG(9)
+    for _ in range(100):
+        assert rng.pareto(2.0, 1.5) >= 1.5
+
+
+def test_sample_pages_distinct_and_clipped():
+    rng = SeededRNG(13)
+    pages = rng.sample_pages(10, 20)
+    assert len(pages) == 10
+    assert len(np.unique(pages)) == 10
+    pages = rng.sample_pages(100, 5)
+    assert len(pages) == 5
+
+
+def test_exponential_mean_roughly():
+    rng = SeededRNG(17)
+    draws = [rng.exponential(2.0) for _ in range(3000)]
+    assert np.mean(draws) == pytest.approx(2.0, rel=0.15)
+
+
+def test_shuffled_is_permutation():
+    rng = SeededRNG(21)
+    out = rng.shuffled(range(10))
+    assert sorted(out) == list(range(10))

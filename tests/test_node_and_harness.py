@@ -1,0 +1,93 @@
+"""Tests for the Node facade and the bench harness helpers."""
+
+import pytest
+
+from repro.bench.harness import (PLATFORM_NAMES, format_table,
+                                 make_platform)
+from repro.mem.layout import GB
+from repro.node import Node
+from repro.sim.engine import Delay, Simulator
+
+
+class TestNode:
+    def test_defaults_match_testbed(self):
+        """§9.1: dual 32-core Xeon, 256 GB RAM."""
+        node = Node()
+        assert node.cores == 64
+        assert node.dram_bytes == 256 * GB
+
+    def test_subsystems_wired(self):
+        node = Node()
+        assert node.cpu.sim is node.sim
+        assert node.procs.cgroups is node.cgroups
+        assert node.criu.procs is node.procs
+
+    def test_clock_property(self):
+        node = Node()
+
+        def proc():
+            yield Delay(2.5)
+
+        node.sim.run_process(proc())
+        assert node.now == pytest.approx(2.5)
+
+    def test_shared_simulator_across_nodes(self):
+        sim = Simulator()
+        a = Node(sim=sim, name="a")
+        b = Node(sim=sim, name="b")
+        assert a.sim is b.sim
+        assert a.rng.path != b.rng.path
+
+    def test_memory_clock_follows_sim(self):
+        node = Node()
+
+        def proc():
+            yield Delay(5.0)
+            node.memory.charge("x", 1 << 20)
+
+        node.sim.run_process(proc())
+        assert node.memory.timeline[-1][0] == pytest.approx(5.0)
+
+    def test_soft_cap_passed_through(self):
+        node = Node(soft_cap_bytes=1 << 30)
+        assert node.memory.soft_cap_bytes == 1 << 30
+
+
+class TestMakePlatform:
+    @pytest.mark.parametrize("name", PLATFORM_NAMES)
+    def test_known_platforms_construct(self, name):
+        platform = make_platform(name)
+        assert platform.node is not None
+
+    def test_tiered_variant(self):
+        platform = make_platform("t-tiered")
+        assert platform.pool.name == "tiered"
+
+    def test_non_plus_variants(self):
+        reap = make_platform("reap")
+        assert not reap.netns_pool_enabled
+        reap_plus = make_platform("reap+")
+        assert reap_plus.netns_pool_enabled
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_platform("openwhisk")
+
+    def test_platform_names_distinct_nodes(self):
+        a = make_platform("faasd")
+        b = make_platform("faasd")
+        assert a.node is not b.node
+
+
+class TestFormatTable:
+    def test_alignment_and_float_formatting(self):
+        out = format_table("T", ("a", "b"), [("x", 1.23456), ("y", 2)],
+                           width=8)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in out
+        assert "       x" in out
+
+    def test_empty_rows(self):
+        out = format_table("T", ("a",), [])
+        assert "a" in out

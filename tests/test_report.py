@@ -1,0 +1,77 @@
+"""Tests for result export and reporting."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.harness import make_platform
+from repro.report import (comparison_markdown, invocations_to_csv,
+                          run_result_summary, speedup_table,
+                          write_summary_json)
+from repro.serverless.runner import run_workload
+from repro.workloads.synthetic import make_w1_bursty
+
+
+@pytest.fixture(scope="module")
+def results():
+    wl = lambda: make_w1_bursty(seed=11, duration=700.0, burst_size=3,
+                                bursts_per_function=1)
+    return [run_workload(make_platform(name, seed=11), wl())
+            for name in ("criu", "t-cxl")]
+
+
+def test_invocations_to_csv_roundtrip(results, tmp_path):
+    path = tmp_path / "inv.csv"
+    n = invocations_to_csv(results[0].recorder, path)
+    assert n == results[0].recorder.count()
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == n
+    assert float(rows[0]["e2e_s"]) > 0
+    assert rows[0]["function"] in {f for f in
+                                   results[0].recorder.functions()}
+
+
+def test_run_result_summary_fields(results):
+    summary = run_result_summary(results[1])
+    assert summary["platform"] == "t-cxl"
+    assert summary["p99_e2e_s"] >= summary["p50_e2e_s"]
+    assert summary["peak_memory_mb"] > 0
+    assert set(summary["per_function"]) == set(
+        results[1].recorder.functions())
+
+
+def test_write_summary_json(results, tmp_path):
+    path = tmp_path / "summary.json"
+    write_summary_json(results, path)
+    payload = json.loads(path.read_text())
+    assert [p["platform"] for p in payload] == ["criu", "t-cxl"]
+
+
+def test_comparison_markdown_structure(results):
+    md = comparison_markdown(results, title="W1")
+    assert md.startswith("## W1")
+    assert "| criu |" in md
+    assert "| t-cxl |" in md
+    assert "|---|---|---|---|---|---|" in md
+
+
+def test_comparison_markdown_rejects_empty():
+    with pytest.raises(ValueError):
+        comparison_markdown([])
+
+
+def test_speedup_table(results):
+    table = speedup_table(results, baseline="criu")
+    assert "t-cxl" in table
+    speedups = table["t-cxl"]
+    assert speedups
+    # TrEnv beats CRIU on most functions in this bursty workload.
+    wins = sum(1 for v in speedups.values() if v > 1.0)
+    assert wins >= len(speedups) * 0.5
+
+
+def test_speedup_table_unknown_baseline(results):
+    with pytest.raises(KeyError):
+        speedup_table(results, baseline="nope")

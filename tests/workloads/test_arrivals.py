@@ -1,0 +1,117 @@
+import pytest
+
+from repro.mem.layout import GB
+from repro.workloads.azure import make_azure_workload
+from repro.workloads.functions import FUNCTIONS
+from repro.workloads.huawei import make_huawei_workload
+from repro.workloads.synthetic import (ArrivalEvent, Workload,
+                                       make_w1_bursty, make_w2_diurnal)
+
+ALL_NAMES = {f.name for f in FUNCTIONS}
+
+
+@pytest.mark.parametrize("maker", [make_w1_bursty, make_w2_diurnal,
+                                   make_azure_workload, make_huawei_workload])
+class TestCommonInvariants:
+    def test_events_sorted_and_in_range(self, maker):
+        wl = maker(seed=1, duration=600.0)
+        wl.validate()
+
+    def test_deterministic_per_seed(self, maker):
+        a = maker(seed=7, duration=600.0)
+        b = maker(seed=7, duration=600.0)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self, maker):
+        a = maker(seed=1, duration=600.0)
+        b = maker(seed=2, duration=600.0)
+        assert a.events != b.events
+
+    def test_functions_from_suite(self, maker):
+        wl = maker(seed=3, duration=600.0)
+        assert set(wl.functions_used()) <= ALL_NAMES
+
+    def test_nonempty(self, maker):
+        wl = maker(seed=3, duration=600.0)
+        assert wl.n_invocations > 10
+
+
+class TestW1:
+    def test_interburst_gap_exceeds_keepalive(self):
+        wl = make_w1_bursty(seed=0, duration=1800.0, keep_alive=600.0)
+        per_func = {}
+        for e in wl.events:
+            per_func.setdefault(e.function, []).append(e.time)
+        for times in per_func.values():
+            times.sort()
+            # Identify burst boundaries: gaps much larger than the spread.
+            gaps = [b - a for a, b in zip(times, times[1:]) if b - a > 60.0]
+            for gap in gaps:
+                assert gap > 600.0
+
+    def test_burst_size_respected(self):
+        wl = make_w1_bursty(seed=0, duration=1800.0, burst_size=12,
+                            bursts_per_function=2)
+        counts = {}
+        for e in wl.events:
+            counts[e.function] = counts.get(e.function, 0) + 1
+        for name, count in counts.items():
+            assert count <= 24
+
+    def test_too_short_duration_clamps_bursts(self):
+        wl = make_w1_bursty(duration=100.0, keep_alive=600.0,
+                            bursts_per_function=3, burst_size=5)
+        counts = {}
+        for e in wl.events:
+            counts[e.function] = counts.get(e.function, 0) + 1
+        # Only one burst fits per function.
+        for count in counts.values():
+            assert count <= 5
+
+
+class TestW2:
+    def test_tight_memory_cap(self):
+        wl = make_w2_diurnal(seed=0, duration=600.0)
+        assert wl.soft_cap_bytes == 32 * GB
+
+    def test_rate_varies_over_time(self):
+        wl = make_w2_diurnal(seed=0, duration=1800.0, mean_rate=2.0,
+                             cycles=3.0)
+        # Split into 6 windows; diurnal modulation should create clear
+        # high/low alternation.
+        windows = [0] * 6
+        for e in wl.events:
+            windows[min(5, int(e.time / 300.0))] += 1
+        assert max(windows) > 1.5 * max(1, min(windows))
+
+
+class TestTraces:
+    def test_azure_skewed_popularity(self):
+        wl = make_azure_workload(seed=0, duration=1800.0)
+        counts = {}
+        for e in wl.events:
+            counts[e.function] = counts.get(e.function, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        # Zipf: top function well above the median one.
+        assert ordered[0] > 3 * ordered[len(ordered) // 2]
+
+    def test_huawei_has_spiky_minutes(self):
+        wl = make_huawei_workload(seed=0, duration=1800.0)
+        per_minute = {}
+        for e in wl.events:
+            per_minute[int(e.time // 60)] = per_minute.get(int(e.time // 60), 0) + 1
+        counts = sorted(per_minute.values())
+        assert counts[-1] > 3 * counts[len(counts) // 2]
+
+
+def test_workload_validate_rejects_unsorted():
+    wl = Workload("bad", [ArrivalEvent(5.0, "DH"), ArrivalEvent(1.0, "DH")],
+                  duration=10.0)
+    with pytest.raises(ValueError):
+        wl.validate()
+
+
+def test_workload_validate_rejects_out_of_range():
+    wl = Workload("bad", [ArrivalEvent(11.0, "DH")], duration=10.0)
+    with pytest.raises(ValueError):
+        wl.validate()

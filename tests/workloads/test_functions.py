@@ -1,0 +1,121 @@
+import numpy as np
+import pytest
+
+from repro.mem.layout import MB
+from repro.sim.rng import SeededRNG
+from repro.workloads.functions import (FUNCTIONS, FunctionProfile,
+                                       function_by_name)
+
+
+def test_table4_suite_complete():
+    names = [f.name for f in FUNCTIONS]
+    assert names == ["DH", "JS", "PR", "IR", "IP", "VP", "CH", "CR", "JJS",
+                     "IFR"]
+
+
+def test_table4_memory_sizes():
+    assert function_by_name("DH").mem_bytes == pytest.approx(50.4 * MB)
+    assert function_by_name("IR").mem_bytes == pytest.approx(855 * MB)
+    assert function_by_name("VP").mem_bytes == pytest.approx(324 * MB)
+
+
+def test_table4_thread_counts():
+    assert function_by_name("PR").n_threads == 395
+    assert function_by_name("IR").n_threads == 141
+    assert function_by_name("DH").n_threads == 14
+
+
+def test_languages():
+    assert function_by_name("CR").lang == "nodejs"
+    assert function_by_name("JJS").lang == "nodejs"
+    assert function_by_name("IFR").lang == "nodejs"
+    assert function_by_name("IR").lang == "python"
+
+
+def test_read_only_ratios_span_paper_range():
+    """§5.1: 24% to 90% of pages are read-only."""
+    ratios = [f.read_only_ratio for f in FUNCTIONS]
+    assert min(ratios) == pytest.approx(0.24, abs=0.01)
+    assert max(ratios) == pytest.approx(0.90, abs=0.01)
+
+
+def test_ir_read_heavy_ifr_write_heavy():
+    assert function_by_name("IR").read_only_ratio > 0.85
+    assert function_by_name("IFR").read_only_ratio < 0.30
+
+
+def test_short_functions_under_100ms():
+    """§9.2.1: DH and IR have <100 ms runtimes."""
+    assert function_by_name("DH").exec_time_ideal < 0.1
+    assert function_by_name("IR").exec_time_ideal < 0.1
+
+
+def test_ch_is_io_bound():
+    ch = function_by_name("CH")
+    assert ch.io_time > ch.exec_cpu
+
+
+def test_touch_fraction_within_unit():
+    for f in FUNCTIONS:
+        assert 0.0 < f.touch_fraction <= 1.0
+
+
+def test_unknown_function_raises():
+    with pytest.raises(KeyError):
+        function_by_name("NOPE")
+
+
+def test_make_trace_deterministic():
+    rng = SeededRNG(3)
+    f = function_by_name("JS")
+    a = f.make_trace(SeededRNG(3), invocation=5)
+    b = f.make_trace(SeededRNG(3), invocation=5)
+    c = f.make_trace(SeededRNG(3), invocation=6)
+    assert np.array_equal(a.read_pages, b.read_pages)
+    assert not np.array_equal(a.read_pages, c.read_pages)
+
+
+def test_trace_matches_profile_stats():
+    f = function_by_name("IR")
+    trace = f.make_trace(SeededRNG(1))
+    assert trace.distinct_reads == pytest.approx(f.touched_pages, rel=0.01)
+    assert trace.read_only_ratio == pytest.approx(f.read_only_ratio, abs=0.02)
+
+
+def test_invocation_traces_mostly_overlap():
+    """Consecutive invocations touch mostly the same pages (what REAP's
+    recorded working set exploits)."""
+    f = function_by_name("JS")
+    base = f.base_trace(SeededRNG(1))
+    inv = f.make_trace(SeededRNG(1), invocation=3)
+    overlap = len(np.intersect1d(base.read_pages, inv.read_pages))
+    assert overlap > 0.85 * len(inv.read_pages)
+    assert overlap < len(inv.read_pages)  # but not identical
+
+
+def test_content_ids_shared_prefix_across_same_language():
+    a = function_by_name("JS").content_ids()
+    b = function_by_name("DH").content_ids()
+    shared = min(len(a), len(b), 9000)
+    # The runtime prefix must be identical (dedupable).
+    n_shared_pages = (38 * MB) // 4096
+    assert np.array_equal(a[:n_shared_pages], b[:n_shared_pages])
+    # Function-specific tails must differ.
+    assert a[n_shared_pages + 1] != b[n_shared_pages + 1]
+
+
+def test_content_ids_disjoint_across_languages():
+    py = function_by_name("JS").content_ids()
+    js = function_by_name("JJS").content_ids()
+    assert len(np.intersect1d(py, js)) == 0
+
+
+def test_content_ids_stable():
+    a = function_by_name("PR").content_ids()
+    b = function_by_name("PR").content_ids()
+    assert np.array_equal(a, b)
+
+
+def test_image_pages_consistent():
+    f = function_by_name("CR")
+    assert f.image_pages == (f.mem_bytes + 4095) // 4096

@@ -1,0 +1,113 @@
+"""Tests for real-trace CSV loading (Azure wide / Huawei long formats)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.functions import FUNCTIONS
+from repro.workloads.traceio import (load_counts_csv, load_workload,
+                                     map_trace_functions,
+                                     workload_from_counts)
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+AZURE = FIXTURES / "azure_sample.csv"
+HUAWEI = FIXTURES / "huawei_sample.csv"
+
+
+class TestWideFormat:
+    def test_parses_minutes_and_counts(self):
+        counts = load_counts_csv(AZURE)
+        # Column "1" is minute 0.
+        assert counts[0]["funcA"] == 12
+        assert counts[3]["funcA"] == 44
+        assert counts[1]["funcC"] == 25
+        # Zero counts omitted.
+        assert "funcC" not in counts[0]
+
+    def test_metadata_columns_ignored(self):
+        counts = load_counts_csv(AZURE)
+        all_fns = {fn for per in counts.values() for fn in per}
+        assert all_fns == {"funcA", "funcB", "funcC"}
+
+
+class TestLongFormat:
+    def test_parses_rows(self):
+        counts = load_counts_csv(HUAWEI)
+        assert counts[0] == {"svc-alpha": 10, "svc-beta": 2}
+        assert counts[1] == {"svc-alpha": 120}
+        assert counts[4] == {"svc-alpha": 3}
+
+    def test_bad_numbers_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("minute,function,count\n0,f,notanumber\n")
+        with pytest.raises(ValueError, match="bad number"):
+            load_counts_csv(bad)
+
+    def test_negative_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("minute,function,count\n-1,f,3\n")
+        with pytest.raises(ValueError, match="negative"):
+            load_counts_csv(bad)
+
+    def test_missing_function_column(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("minute,count\n0,3\n")
+        with pytest.raises(ValueError, match="function column"):
+            load_counts_csv(bad)
+
+
+class TestMapping:
+    def test_popularity_rank_mapping(self):
+        counts = load_counts_csv(HUAWEI)
+        mapping = map_trace_functions(counts)
+        # svc-alpha (133 total) is the most popular -> first suite fn.
+        assert mapping["svc-alpha"] == FUNCTIONS[0].name
+        assert mapping["svc-gamma"] == FUNCTIONS[1].name
+        assert mapping["svc-beta"] == FUNCTIONS[2].name
+
+    def test_round_robin_wraps(self):
+        counts = {0: {f"f{i}": 10 - i for i in range(len(FUNCTIONS) + 2)}}
+        mapping = map_trace_functions(counts)
+        assert mapping[f"f{len(FUNCTIONS)}"] == FUNCTIONS[0].name
+
+
+class TestWorkloadSynthesis:
+    def test_counts_preserved(self):
+        counts = load_counts_csv(HUAWEI)
+        wl = workload_from_counts(counts, "huawei-sample", seed=1)
+        total = sum(c for per in counts.values() for c in per.values())
+        assert wl.n_invocations == total
+        wl.validate()
+
+    def test_events_stay_in_their_minute(self):
+        counts = load_counts_csv(HUAWEI)
+        wl = workload_from_counts(counts, "x", seed=1)
+        spikes = [e for e in wl.events if e.time >= 60.0 and e.time < 120.0]
+        assert len(spikes) == 120   # svc-alpha's minute-1 burst
+
+    def test_deterministic_per_seed(self):
+        counts = load_counts_csv(AZURE)
+        a = workload_from_counts(counts, "x", seed=4)
+        b = workload_from_counts(counts, "x", seed=4)
+        assert a.events == b.events
+
+    def test_one_call_loader(self):
+        wl = load_workload(AZURE, seed=2)
+        assert wl.name == "azure_sample"
+        assert wl.n_invocations > 0
+        assert wl.duration == 5 * 60.0
+
+    def test_loaded_workload_runs_end_to_end(self):
+        from repro.bench.harness import make_platform
+        from repro.serverless.runner import run_workload
+
+        wl = load_workload(HUAWEI, seed=2)
+        result = run_workload(make_platform("t-cxl", seed=2), wl)
+        assert result.recorder.count() == wl.n_invocations
+
+
+def test_empty_file_rejected(tmp_path):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_counts_csv(empty)
