@@ -10,11 +10,13 @@ from repro.bench.harness import (format_table, make_platform,
                                  PLATFORM_NAMES, run_platform_workload)
 from repro.bench import experiments_container as container
 from repro.bench import experiments_agents as agents
+from repro.bench import experiments_faults as faults
 
 __all__ = [
     "PLATFORM_NAMES",
     "agents",
     "container",
+    "faults",
     "format_table",
     "make_platform",
     "run_platform_workload",

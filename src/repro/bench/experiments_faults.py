@@ -1,0 +1,70 @@
+"""Chaos experiments: availability of the disaggregated rack under faults.
+
+The paper's reliability argument (§8.1) is that losing the remote pool
+must degrade startup latency — to the NAS tier or, at worst, the local
+copy-based restore every baseline already pays — never correctness.
+``run_chaos_recovery`` drives a TrEnv rack through a mid-workload RDMA
+pool outage and reports availability plus the latency cost of surviving
+it; running it twice with the same seed must reproduce the identical
+fault timeline and counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.mem.layout import GB
+from repro.mem.pools import NASPool, RDMAPool
+from repro.serverless.cluster import make_trenv_cluster
+from repro.workloads.functions import function_by_name
+from repro.workloads.synthetic import make_w1_bursty
+
+
+def _run_rack(seed: int, n_nodes: int, plan: FaultPlan) -> Dict:
+    pool = RDMAPool(128 * GB)
+    nas = NASPool(128 * GB)
+    cluster = make_trenv_cluster(n_nodes, pool, seed=seed,
+                                 fallback_pool=nas)
+    workload = make_w1_bursty(seed=seed, duration=700.0, burst_size=6,
+                              bursts_per_function=1)
+    injector = FaultInjector.for_cluster(cluster, plan).arm()
+    result = cluster.run_workload(workload)
+    latency = cluster.platforms[0].node.latency
+    biggest = max(function_by_name(f).mem_bytes
+                  for f in workload.functions_used())
+    return {
+        "n_invocations": workload.n_invocations,
+        "availability": result.availability,
+        "p50_e2e": result.recorder.e2e_percentile(50),
+        "p99_e2e": result.recorder.e2e_percentile(99),
+        "max_e2e": max((r.e2e for r in result.recorder.results),
+                       default=float("nan")),
+        "timeline": injector.timeline(),
+        "pool_faults": sum(p.pool_fault_count for p in cluster.platforms),
+        "degraded_acquires": sum(p.degraded_acquires
+                                 for p in cluster.platforms),
+        "redispatches": result.redispatches,
+        # Cost of one full copy-based restore of the largest image — the
+        # bottom rung of the degradation ladder, i.e. the baseline
+        # cold-start class every invocation can always fall back to.
+        "cold_copy_bound": latency.memory_copy(biggest),
+    }
+
+
+def run_chaos_recovery(seed: int = 1, n_nodes: int = 2,
+                       kill_at: float = 30.0,
+                       outage: float = 400.0) -> Dict[str, Dict]:
+    """TrEnv rack vs a seeded RDMA-pool outage of ``outage`` seconds.
+
+    Returns ``clean`` (no faults), ``faulty`` (the outage) and
+    ``replay`` (the identical outage again, for determinism checks).
+    """
+    def outage_plan() -> FaultPlan:
+        return FaultPlan().pool_offline(kill_at, "rdma", duration=outage)
+
+    return {
+        "clean": _run_rack(seed, n_nodes, FaultPlan()),
+        "faulty": _run_rack(seed, n_nodes, outage_plan()),
+        "replay": _run_rack(seed, n_nodes, outage_plan()),
+    }

@@ -18,7 +18,7 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from repro.bench import agents, container
+from repro.bench import agents, container, faults
 
 
 def _jsonable(obj):
@@ -77,6 +77,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig24": _fig24,
     "fig25": _fig25,
     "fig26": lambda a: agents.run_fig26_memory_timeline(),
+    "chaos": lambda a: faults.run_chaos_recovery(),
 }
 
 

@@ -61,6 +61,9 @@ class TrEnvPlatform(ServerlessPlatform):
         #: Functions degraded to copy-based restore because the pool ran
         #: out of space during preprocessing.
         self.pool_exhausted_functions: set = set()
+        #: Acquisitions that fell back to copy-based restore because the
+        #: pool was offline at start time (see repro.faults).
+        self.degraded_acquires = 0
 
     # -- preprocessing (§4 phase A) -------------------------------------------------
 
@@ -90,8 +93,9 @@ class TrEnvPlatform(ServerlessPlatform):
         if self.config.reconfig:
             sandbox = self.sandbox_pool.take()
             if sandbox is not None:
-                proc = yield self._do_repurpose(sandbox, profile)
+                proc, degraded = yield self._do_repurpose(sandbox, profile)
                 inst = Instance(profile, proc.address_space, payload=sandbox)
+                inst.degraded_start = degraded
                 return inst, "repurposed"
             victim = self.warm.lru_victim()
             if victim is not None:
@@ -99,18 +103,33 @@ class TrEnvPlatform(ServerlessPlatform):
                 sandbox = victim.payload
                 victim.retired = True
                 yield self.repurposer.cleanse(sandbox)
-                proc = yield self._do_repurpose(sandbox, profile)
+                proc, degraded = yield self._do_repurpose(sandbox, profile)
                 inst = Instance(profile, proc.address_space, payload=sandbox)
+                inst.degraded_start = degraded
                 return inst, "repurposed"
         inst = yield self._cold_start(profile)
         return inst, "cold"
 
     def _do_repurpose(self, sandbox: ContainerSandbox,
                       profile: FunctionProfile) -> Generator:
+        template, degraded = self._usable_template(profile)
         proc = yield self.repurposer.repurpose(
-            sandbox, profile, self.images[profile.name],
-            self.templates.get(profile.name))
-        return proc
+            sandbox, profile, self.images[profile.name], template)
+        return proc, degraded
+
+    def _usable_template(self, profile: FunctionProfile
+                         ) -> Tuple[Optional[MemoryTemplate], bool]:
+        """The function's mm-template, or None when the pool behind it is
+        unreachable — the repurposer/cold path then restores by copy, so
+        a dead pool degrades latency instead of failing the start.
+        Returns ``(template, degraded)``."""
+        template = self.templates.get(profile.name)
+        if template is None:
+            return None, False
+        if not self.pool.available:
+            self.degraded_acquires += 1
+            return None, True
+        return template, False
 
     def _cold_start(self, profile: FunctionProfile) -> Generator:
         """Sandbox built from scratch; memory still via template/restore."""
@@ -119,7 +138,7 @@ class TrEnvPlatform(ServerlessPlatform):
             profile.name, clone_into_cgroup=self.config.clone_into_cgroup)
         image = self.images[profile.name]
         hook = node.memory.page_delta_hook("function-anon")
-        template = self.templates.get(profile.name)
+        template, degraded = self._usable_template(profile)
         if template is not None and self.config.mm_template:
             from repro.mem.address_space import AddressSpace
             space = AddressSpace(f"{profile.name}@{sandbox.sandbox_id}",
@@ -135,7 +154,9 @@ class TrEnvPlatform(ServerlessPlatform):
                 on_local_delta=hook)
         sandbox.processes.append(proc)
         sandbox.function = profile.name
-        return Instance(profile, proc.address_space, payload=sandbox)
+        inst = Instance(profile, proc.address_space, payload=sandbox)
+        inst.degraded_start = degraded
+        return inst
 
     # -- Groundhog-style rollback (§10) ------------------------------------------------------
 
@@ -178,6 +199,12 @@ class TrEnvPlatform(ServerlessPlatform):
         else:
             yield self.runtime.destroy_sandbox(sandbox)
 
+    # -- crash ---------------------------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        """A crashed node loses its repurposable sandboxes too."""
+        self.sandbox_pool.clear()
+
     # -- stats --------------------------------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:
@@ -191,5 +218,6 @@ class TrEnvPlatform(ServerlessPlatform):
             "cold_creates": self.runtime.cold_creates,
             "pool_used_mb": self.pool.used_bytes / (1 << 20),
             "dedup_ratio": self.store.dedup_ratio,
+            "degraded_acquires": self.degraded_acquires,
         })
         return out

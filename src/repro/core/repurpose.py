@@ -58,6 +58,10 @@ class RepurposableSandboxPool:
         self.misses += 1
         return None
 
+    def clear(self) -> None:
+        """Drop every pooled sandbox (node crash: pool state is lost)."""
+        self._free.clear()
+
     def __len__(self) -> int:
         return len(self._free)
 

@@ -1,0 +1,28 @@
+"""Fault injection and failure semantics for the disaggregated rack.
+
+The paper's architecture concentrates state in a shared memory pool, so
+pool and link failures become availability concerns the host must
+survive (§8.1: fall back to local or NAS-based restore when remote
+memory is unreachable).  This package provides:
+
+* typed failure exceptions (:mod:`repro.faults.errors`) raised by pools
+  and platforms;
+* deterministic, seeded fault schedules (:class:`FaultPlan`);
+* an injector that applies them on the virtual clock
+  (:class:`FaultInjector`);
+* the bounded-retry policy platforms use before degrading
+  (:class:`RetryPolicy`).
+"""
+
+from repro.faults.errors import (FaultError, NodeCrashedError,
+                                 PoolExhaustedError, PoolFault,
+                                 PoolTimeoutError, PoolUnavailableError)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FaultError", "NodeCrashedError", "PoolExhaustedError", "PoolFault",
+    "PoolTimeoutError", "PoolUnavailableError", "FaultInjector",
+    "FaultEvent", "FaultKind", "FaultPlan", "RetryPolicy",
+]

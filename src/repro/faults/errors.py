@@ -1,0 +1,50 @@
+"""Typed failure exceptions shared across layers.
+
+This module sits at the very bottom of the layer cake — it imports
+nothing — so ``mem``, ``serverless`` and ``core`` can raise and catch the
+same typed faults without upward dependencies.
+
+The hierarchy mirrors the rack's failure domains (§8.1 discussion of
+pool/link failures): pool-level faults (device offline, link down, fetch
+timeout, capacity exhaustion) and node-level crashes.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for injected or modelled infrastructure failures."""
+
+
+class PoolFault(FaultError):
+    """A memory-pool operation failed (device offline, link down, timeout)."""
+
+    def __init__(self, pool: str, reason: str = "fault"):
+        super().__init__(f"pool {pool!r}: {reason}")
+        self.pool = pool
+        self.reason = reason
+
+
+class PoolUnavailableError(PoolFault):
+    """The pool is unreachable: CXL device offlined or RDMA link down."""
+
+
+class PoolTimeoutError(PoolFault):
+    """A demand fetch from the pool timed out in transit."""
+
+
+class PoolExhaustedError(PoolFault, MemoryError):
+    """Pool capacity exhausted.
+
+    Also a :class:`MemoryError` so existing ``except MemoryError``
+    degradation paths (e.g. registration falling back to copy-based
+    restore) keep working unchanged.
+    """
+
+
+class NodeCrashedError(FaultError):
+    """A host died; its warm state and in-flight invocations are lost."""
+
+    def __init__(self, node: str):
+        super().__init__(f"node {node!r} crashed")
+        self.node = node

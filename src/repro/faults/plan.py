@@ -1,0 +1,171 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent`s on the
+virtual clock.  Plans are built explicitly (``plan.pool_offline(...)``)
+or generated pseudo-randomly from a seed (:meth:`FaultPlan.chaos`);
+either way the same inputs produce the same schedule, so every chaos run
+is exactly reproducible: same seed → same fault times, kinds and counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import SeededRNG
+
+
+class FaultKind:
+    """Fault taxonomy for the disaggregated rack."""
+
+    NODE_CRASH = "node-crash"        # host dies; optional recovery later
+    POOL_OFFLINE = "pool-offline"    # CXL device offlined / RDMA link down
+    POOL_DEGRADE = "pool-degrade"    # link congestion: fetches slow down
+    FETCH_TIMEOUT = "fetch-timeout"  # next N fetches time out in transit
+    POOL_EXHAUST = "pool-exhaust"    # capacity gone: allocations fail
+
+    ALL = (NODE_CRASH, POOL_OFFLINE, POOL_DEGRADE, FETCH_TIMEOUT,
+           POOL_EXHAUST)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure.
+
+    ``target`` is a pool name (pool faults) or a node name (crashes).
+    ``duration`` of ``None`` means permanent (or, for FETCH_TIMEOUT,
+    irrelevant — the burst self-clears as fetches consume it).
+    """
+
+    time: float
+    kind: str
+    target: str
+    duration: Optional[float] = None
+    factor: float = 1.0              # POOL_DEGRADE slowdown multiplier
+    count: int = 0                   # FETCH_TIMEOUT burst size
+
+    def __post_init__(self):
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"negative fault time: {self.time}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"non-positive fault duration: {self.duration}")
+        if self.kind == FaultKind.POOL_DEGRADE and self.factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1: {self.factor}")
+        if self.kind == FaultKind.FETCH_TIMEOUT and self.count <= 0:
+            raise ValueError("fetch-timeout burst needs count > 0")
+
+
+def _sort_key(event: FaultEvent) -> Tuple:
+    return (event.time, event.kind, event.target)
+
+
+class FaultPlan:
+    """An immutable-by-convention, time-ordered fault schedule."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events: List[FaultEvent] = sorted(events, key=_sort_key)
+
+    # -- building ------------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self._events.append(event)
+        self._events.sort(key=_sort_key)
+        return self
+
+    def node_crash(self, time: float, node: str,
+                   duration: Optional[float] = None) -> "FaultPlan":
+        return self.add(FaultEvent(time, FaultKind.NODE_CRASH, node,
+                                   duration=duration))
+
+    def pool_offline(self, time: float, pool: str,
+                     duration: Optional[float] = None) -> "FaultPlan":
+        return self.add(FaultEvent(time, FaultKind.POOL_OFFLINE, pool,
+                                   duration=duration))
+
+    def link_flap(self, time: float, pool: str,
+                  duration: float = 0.5) -> "FaultPlan":
+        """Transient link loss: a short POOL_OFFLINE window."""
+        return self.pool_offline(time, pool, duration=duration)
+
+    def pool_degrade(self, time: float, pool: str, factor: float,
+                     duration: Optional[float] = None) -> "FaultPlan":
+        return self.add(FaultEvent(time, FaultKind.POOL_DEGRADE, pool,
+                                   duration=duration, factor=factor))
+
+    def fetch_timeouts(self, time: float, pool: str,
+                       count: int) -> "FaultPlan":
+        return self.add(FaultEvent(time, FaultKind.FETCH_TIMEOUT, pool,
+                                   count=count))
+
+    def pool_exhaust(self, time: float, pool: str,
+                     duration: Optional[float] = None) -> "FaultPlan":
+        return self.add(FaultEvent(time, FaultKind.POOL_EXHAUST, pool,
+                                   duration=duration))
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def signature(self) -> Tuple[Tuple, ...]:
+        """Hashable fingerprint; equal signatures ⇒ identical schedules."""
+        return tuple((e.time, e.kind, e.target, e.duration, e.factor,
+                      e.count) for e in self._events)
+
+    # -- seeded generation ---------------------------------------------------
+
+    @classmethod
+    def chaos(cls, seed: int, duration: float,
+              pools: Sequence[str] = (),
+              nodes: Sequence[str] = (),
+              mean_interval: float = 60.0,
+              mean_outage: float = 5.0,
+              degrade_factor: float = 4.0,
+              timeout_burst: int = 4) -> "FaultPlan":
+        """A pseudo-random plan over ``[0, duration)``.
+
+        Faults arrive as a Poisson process (mean ``mean_interval``
+        seconds apart); each picks a kind/target uniformly from the
+        menu.  The same ``(seed, arguments)`` always yields the same
+        plan — :class:`~repro.sim.rng.SeededRNG` substreams guarantee it.
+        """
+        menu: List[Tuple[str, str]] = []
+        for pool in pools:
+            menu.extend([(FaultKind.POOL_OFFLINE, pool),
+                         (FaultKind.POOL_DEGRADE, pool),
+                         (FaultKind.FETCH_TIMEOUT, pool)])
+        for node in nodes:
+            menu.append((FaultKind.NODE_CRASH, node))
+        if not menu:
+            raise ValueError("chaos plan needs at least one pool or node")
+        rng = SeededRNG(seed, "fault-plan")
+        events: List[FaultEvent] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(mean_interval)
+            if t >= duration:
+                break
+            kind, target = rng.choice(menu)
+            outage = rng.exponential(mean_outage) + 1e-3
+            if kind == FaultKind.FETCH_TIMEOUT:
+                events.append(FaultEvent(t, kind, target,
+                                         count=timeout_burst))
+            elif kind == FaultKind.POOL_DEGRADE:
+                events.append(FaultEvent(t, kind, target, duration=outage,
+                                         factor=degrade_factor))
+            else:
+                events.append(FaultEvent(t, kind, target, duration=outage))
+        return cls(events)

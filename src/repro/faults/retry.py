@@ -1,0 +1,38 @@
+"""Bounded-retry policy with exponential backoff.
+
+Retries are simulated as :class:`~repro.sim.engine.Delay`s, so backoff
+consumes virtual time (during which an injected flap may heal) without
+burning CPU.  The policy is deliberately jitter-free: with one global
+virtual clock, deterministic backoff keeps whole chaos runs bit-identical
+for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a platform retries a faulted pool operation before degrading.
+
+    After ``max_retries`` failed attempts the platform drops down the
+    degradation ladder (fallback pool, then local copy restore) instead
+    of erroring the invocation.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 1e-3      # first retry waits 1 ms
+    backoff_multiplier: float = 4.0
+    backoff_cap: float = 0.1        # never stall an invocation > 100 ms/try
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_multiplier < 1:
+            raise ValueError("invalid backoff parameters")
+
+    def backoff(self, attempt: int) -> float:
+        """Wait before retry number ``attempt`` (0-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_multiplier ** attempt)

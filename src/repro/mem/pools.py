@@ -9,6 +9,15 @@ is read-only; writes are private to each attaching process via CoW.
 Blocks are content-addressed: the :class:`DedupStore` consolidates pages
 with identical content across functions and nodes, which is what produces
 TrEnv's cross-function, cross-node memory savings (§5.1 step 1).
+
+Every pool also carries **health state** for the fault-injection
+framework (:mod:`repro.faults`): an offline pool raises
+:class:`~repro.faults.errors.PoolUnavailableError` from its timing
+methods, a degraded link multiplies fetch times, and an injected timeout
+burst fails the next N fetches with
+:class:`~repro.faults.errors.PoolTimeoutError`.  Subclasses implement
+``_fetch_time``/``_read_overhead``; the public wrappers apply the health
+checks so no caller can accidentally bypass them.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults.errors import (PoolExhaustedError, PoolTimeoutError,
+                                 PoolUnavailableError)
 from repro.mem.layout import PAGE_SIZE
 from repro.sim.latency import LatencyModel
 
@@ -56,16 +67,75 @@ class MemoryPool:
         self._next_offset = 0
         self._stored_pages = 0
         self._active_fetchers = 0
+        # -- health state (fault injection) --
+        self._online = True
+        self.fault_reason: Optional[str] = None
+        self.degrade_factor = 1.0
+        self._timeout_budget = 0
+        self._forced_exhausted = False
+        self.faults_injected = 0
+        self.timeouts_served = 0
+
+    # -- health ------------------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        """False while the device is offline / the link is down."""
+        return self._online
+
+    def fail(self, reason: str = "injected fault") -> None:
+        """Take the pool offline (CXL device offlined, RDMA link down)."""
+        self._online = False
+        self.fault_reason = reason
+        self.faults_injected += 1
+
+    def recover(self) -> None:
+        """Bring the pool back online; stored contents are intact."""
+        self._online = True
+        self.fault_reason = None
+
+    def degrade(self, factor: float) -> None:
+        """Multiply all access times by ``factor`` (link congestion)."""
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1: {factor}")
+        self.degrade_factor = float(factor)
+
+    def restore_speed(self) -> None:
+        self.degrade_factor = 1.0
+
+    def inject_timeouts(self, count: int) -> None:
+        """Fail the next ``count`` fetches with a timeout."""
+        if count < 0:
+            raise ValueError("timeout count must be >= 0")
+        self._timeout_budget += count
+
+    def exhaust(self) -> None:
+        """Force allocations to fail until :meth:`replenish`."""
+        self._forced_exhausted = True
+
+    def replenish(self) -> None:
+        self._forced_exhausted = False
+
+    def _check_available(self) -> None:
+        if not self._online:
+            raise PoolUnavailableError(
+                self.name, self.fault_reason or "offline")
 
     # -- storage -----------------------------------------------------------------
 
+    def can_allocate(self, npages: int) -> bool:
+        """Whether ``npages`` fresh slots fit right now (no side effects)."""
+        if self._forced_exhausted:
+            return False
+        return self.used_bytes + npages * PAGE_SIZE <= self.capacity_bytes
+
     def allocate_pages(self, npages: int) -> np.ndarray:
         """Reserve ``npages`` fresh page slots; returns their offsets."""
-        needed = npages * PAGE_SIZE
-        if self.used_bytes + needed > self.capacity_bytes:
-            raise MemoryError(
-                f"{self.name} pool exhausted: "
-                f"{self.used_bytes + needed} > {self.capacity_bytes}")
+        if not self.can_allocate(npages):
+            raise PoolExhaustedError(
+                self.name,
+                f"exhausted: {self.used_bytes + npages * PAGE_SIZE} "
+                f"> {self.capacity_bytes}")
         base = self._next_offset
         self._next_offset += npages
         self._stored_pages += npages
@@ -82,11 +152,33 @@ class MemoryPool:
     # -- access timing --------------------------------------------------------------
 
     def fetch_time(self, npages: int, concurrency: int = 1) -> float:
-        """Simulated time to demand-fetch ``npages`` individual pages."""
-        raise NotImplementedError
+        """Simulated time to demand-fetch ``npages`` individual pages.
+
+        Raises a typed :class:`~repro.faults.errors.PoolFault` while the
+        pool is offline or an injected timeout burst is pending.
+        """
+        self._check_available()
+        if self._timeout_budget > 0:
+            self._timeout_budget -= 1
+            self.timeouts_served += 1
+            raise PoolTimeoutError(self.name, "fetch timed out")
+        t = self._fetch_time(npages, concurrency)
+        if self.degrade_factor != 1.0:
+            t *= self.degrade_factor
+        return t
 
     def read_overhead(self, nloads: int) -> float:
         """Extra time for ``nloads`` direct loads (byte-addressable pools)."""
+        self._check_available()
+        t = self._read_overhead(nloads)
+        if self.degrade_factor != 1.0:
+            t *= self.degrade_factor
+        return t
+
+    def _fetch_time(self, npages: int, concurrency: int = 1) -> float:
+        raise NotImplementedError
+
+    def _read_overhead(self, nloads: int) -> float:
         raise NotImplementedError
 
     def valid_mask(self, offsets: np.ndarray) -> np.ndarray:
@@ -110,12 +202,12 @@ class CXLPool(MemoryPool):
     byte_addressable = True
     name = "cxl"
 
-    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+    def _fetch_time(self, npages: int, concurrency: int = 1) -> float:
         # Direct-mapped copy at near-memory speed; no page-fault round trip.
         per_page = self.latency.mem.minor_fault + PAGE_SIZE / (16e9)  # ~16 GB/s
         return npages * per_page
 
-    def read_overhead(self, nloads: int) -> float:
+    def _read_overhead(self, nloads: int) -> float:
         return self.latency.cxl_read_overhead(nloads)
 
 
@@ -138,13 +230,13 @@ class RDMAPool(MemoryPool):
         super().__init__(capacity_bytes, latency)
         self.encrypted = encrypted
 
-    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+    def _fetch_time(self, npages: int, concurrency: int = 1) -> float:
         t = self.latency.rdma_fetch(npages, concurrency)
         if self.encrypted:
             t += npages * self.ENCRYPTION_COST_PER_PAGE
         return t
 
-    def read_overhead(self, nloads: int) -> float:
+    def _read_overhead(self, nloads: int) -> float:
         return 0.0  # once fetched, pages are local
 
 
@@ -154,10 +246,10 @@ class NASPool(MemoryPool):
     byte_addressable = False
     name = "nas"
 
-    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+    def _fetch_time(self, npages: int, concurrency: int = 1) -> float:
         return npages * (self.latency.mem.nas_fetch_4k + self.latency.mem.minor_fault)
 
-    def read_overhead(self, nloads: int) -> float:
+    def _read_overhead(self, nloads: int) -> float:
         return 0.0
 
 
@@ -199,12 +291,25 @@ class TieredPool(MemoryPool):
     def allocate_pages_masked(self, hot_mask: np.ndarray) -> np.ndarray:
         """Allocate with explicit per-page placement (hot=True → upper
         tier).  Used by working-set-aware planners
-        (:mod:`repro.mem.tiering`)."""
+        (:mod:`repro.mem.tiering`).
+
+        Atomic: both tiers are capacity-checked up front, so a request
+        that overflows either tier raises without leaking pages into the
+        other.
+        """
         hot_mask = np.asarray(hot_mask, dtype=bool)
         npages = len(hot_mask)
         n_hot = int(np.count_nonzero(hot_mask))
+        n_cold = npages - n_hot
+        if not (self.can_allocate(npages)
+                and self.hot.can_allocate(n_hot)
+                and self.cold.can_allocate(n_cold)):
+            raise PoolExhaustedError(
+                self.name,
+                f"exhausted: {npages} pages ({n_hot} hot / {n_cold} cold) "
+                f"do not fit")
         hot = self.hot.allocate_pages(n_hot)
-        cold = self.cold.allocate_pages(npages - n_hot)
+        cold = self.cold.allocate_pages(n_cold)
         out = np.empty(npages, dtype=np.int64)
         out[hot_mask] = hot
         # Tag cold offsets with a high bit so valid_mask can split them.
@@ -216,12 +321,12 @@ class TieredPool(MemoryPool):
         cold_mask = offsets >= _COLD_TAG
         return offsets[~cold_mask], offsets[cold_mask] - _COLD_TAG
 
-    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+    def _fetch_time(self, npages: int, concurrency: int = 1) -> float:
         # Demand fetches only ever hit the cold tier: hot-tier pages get
         # valid PTEs up front (see valid_mask) and never fault.
         return self.cold.fetch_time(npages, concurrency)
 
-    def read_overhead(self, nloads: int) -> float:
+    def _read_overhead(self, nloads: int) -> float:
         # Direct loads only ever hit the hot tier: cold pages were
         # materialised locally by their fault.
         return self.hot.read_overhead(nloads)
@@ -246,11 +351,16 @@ class DedupStore:
     point at the single shared copy of every page; pages already present
     (from any function, any node) are not stored again (§5.1 step 1,
     Figure 12's duplicated region R2).
+
+    The content-id → offset index is a pair of aligned, sorted numpy
+    arrays, so storing a multi-hundred-MB image costs a few vectorised
+    searchsorted/insert passes instead of O(pages) Python dict lookups.
     """
 
     def __init__(self, pool: MemoryPool):
         self.pool = pool
-        self._by_content: Dict[int, int] = {}
+        self._cids = np.empty(0, dtype=np.int64)        # sorted content ids
+        self._cid_offsets = np.empty(0, dtype=np.int64)  # aligned offsets
         self.total_pages_presented = 0
         self.unique_pages_stored = 0
 
@@ -264,29 +374,30 @@ class DedupStore:
         """
         content_ids = np.asarray(content_ids, dtype=np.int64)
         self.total_pages_presented += len(content_ids)
-        unique = np.unique(content_ids)
-        missing = [int(cid) for cid in unique if int(cid) not in self._by_content]
-        if missing:
+        unique, first_idx = np.unique(content_ids, return_index=True)
+        pos = np.searchsorted(self._cids, unique)
+        known = np.zeros(len(unique), dtype=bool)
+        in_range = pos < len(self._cids)
+        known[in_range] = self._cids[pos[in_range]] == unique[in_range]
+        missing = unique[~known]
+        if len(missing):
             if hot_mask is not None:
                 if not hasattr(self.pool, "allocate_pages_masked"):
                     raise TypeError(
                         f"{self.pool.name} pool does not support placement")
-                hot_by_cid = {}
-                for cid, hot in zip(content_ids, hot_mask):
-                    hot_by_cid.setdefault(int(cid), bool(hot))
-                mask = np.array([hot_by_cid[cid] for cid in missing],
-                                dtype=bool)
+                hot_mask = np.asarray(hot_mask, dtype=bool)
+                # First occurrence of each missing cid decides placement.
+                mask = hot_mask[first_idx[~known]]
                 fresh = self.pool.allocate_pages_masked(mask)
             else:
                 fresh = self.pool.allocate_pages(len(missing))
-            for cid, off in zip(missing, fresh):
-                self._by_content[cid] = int(off)
+            insert_at = np.searchsorted(self._cids, missing)
+            self._cids = np.insert(self._cids, insert_at, missing)
+            self._cid_offsets = np.insert(self._cid_offsets, insert_at,
+                                          fresh)
             self.unique_pages_stored += len(missing)
-        # Vectorised lookup: map sorted unique cids to their offsets, then
-        # gather through searchsorted.
-        unique_offsets = np.array(
-            [self._by_content[int(cid)] for cid in unique], dtype=np.int64)
-        offsets = unique_offsets[np.searchsorted(unique, content_ids)]
+        offsets = self._cid_offsets[
+            np.searchsorted(self._cids, content_ids)]
         return PoolBlock(pool=self.pool, offsets=offsets)
 
     @property

@@ -23,12 +23,15 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.faults.errors import NodeCrashedError, PoolFault
+from repro.faults.retry import RetryPolicy
 from repro.mem.address_space import AddressSpace
+from repro.mem.layout import PAGE_SIZE
 from repro.mem.page_cache import FileIdRegistry, PageCache
 from repro.mem.pools import MemoryPool
 from repro.node import Node
 from repro.serverless.metrics import InvocationResult, LatencyRecorder
-from repro.sim.engine import Delay
+from repro.sim.engine import Delay, Interrupt
 from repro.sim.rng import SeededRNG
 from repro.workloads.functions import FunctionProfile
 
@@ -51,6 +54,9 @@ class Instance:
         self.last_used = 0.0
         self.invocations = 0
         self.retired = False
+        #: Set when acquisition had to take a fallback path because the
+        #: remote pool was unreachable (see repro.faults).
+        self.degraded_start = False
 
     @property
     def function(self) -> str:
@@ -64,6 +70,14 @@ class WarmPool:
         self._by_function: Dict[str, List[Instance]] = {}
         self.hits = 0
         self.misses = 0
+
+    def has(self, function: str) -> bool:
+        """Whether at least one idle instance of ``function`` is parked."""
+        return bool(self._by_function.get(function))
+
+    def count(self, function: str) -> int:
+        """Number of idle instances of ``function`` in the pool."""
+        return len(self._by_function.get(function, ()))
 
     def take(self, function: str) -> Optional[Instance]:
         stack = self._by_function.get(function)
@@ -98,6 +112,10 @@ class WarmPool:
     def idle_instances(self) -> List[Instance]:
         return [i for stack in self._by_function.values() for i in stack]
 
+    def clear(self) -> None:
+        """Drop every parked instance (node crash: warm state is lost)."""
+        self._by_function.clear()
+
     def __len__(self) -> int:
         return sum(len(s) for s in self._by_function.values())
 
@@ -130,6 +148,16 @@ class ServerlessPlatform:
         self._concurrency_limits: Dict[str, int] = {}
         self._running_per_function: Dict[str, int] = {}
         self._admission_queues: Dict[str, List] = {}
+        # -- failure handling (repro.faults) --
+        self.retry_policy = RetryPolicy()
+        #: Next rung of the degradation ladder after the primary pool
+        #: (typically a NASPool); the final rung is a local batched copy.
+        self.fallback_pool: Optional[MemoryPool] = None
+        self.crashed = False
+        self.crash_count = 0
+        self.pool_fault_count = 0
+        self.fault_retries = 0
+        self.degraded_invocations = 0
 
     # -- registration --------------------------------------------------------------
 
@@ -143,6 +171,16 @@ class ServerlessPlatform:
 
     def register_pool(self, pool: MemoryPool) -> None:
         self._pools_by_name[pool.name] = pool
+
+    @property
+    def pools(self) -> Dict[str, MemoryPool]:
+        """Public view of the registered pools (used by FaultInjector)."""
+        return dict(self._pools_by_name)
+
+    def set_fallback_pool(self, pool: MemoryPool) -> None:
+        """Register ``pool`` as the degradation target for pool faults."""
+        self.register_pool(pool)
+        self.fallback_pool = pool
 
     def set_concurrency_limit(self, function: str, limit: Optional[int]
                               ) -> None:
@@ -158,38 +196,69 @@ class ServerlessPlatform:
 
     def invoke(self, function: str, arrival: Optional[float] = None
                ) -> Generator:
-        """Timed: run one invocation end-to-end; returns the result."""
+        """Timed: run one invocation end-to-end; returns the result.
+
+        Pool faults are absorbed (retry with backoff, then degrade to a
+        fallback path).  A node crash mid-invocation surfaces as a typed
+        :class:`NodeCrashedError` so a cluster dispatcher can re-dispatch
+        the work elsewhere.
+        """
+        if self.crashed:
+            raise NodeCrashedError(self.node.name)
         profile = self.functions[function]
         arrival = self.node.now if arrival is None else arrival
         if self.keep_alive_policy is not None:
             self.keep_alive_policy.observe_arrival(function, arrival)
         inv_idx = next(self._inv_counter)
         t0 = self.node.now
-        yield self._admit(function)
-        queue_wait = self.node.now - t0
-        t_acquire = self.node.now
-        inst = self.warm.take(function)
-        if inst is not None:
-            kind = "warm"
-            yield self._warm_resume(inst)
-        else:
-            inst, kind = yield self._acquire(profile)
-        startup = self.node.now - t_acquire
-        t1 = self.node.now
-        yield self.execute(inst, profile, inv_idx)
-        exec_lat = self.node.now - t1
-        inst.last_used = self.node.now
-        inst.invocations += 1
-        yield self._recycle(inst)
-        self._release(function)
-        self._apply_memory_pressure()
+        inst: Optional[Instance] = None
+        try:
+            yield self._admit(function)
+            queue_wait = self.node.now - t0
+            t_acquire = self.node.now
+            inst = self.warm.take(function)
+            if inst is not None:
+                kind = "warm"
+                yield self._warm_resume(inst)
+            else:
+                inst, kind = yield self._acquire(profile)
+            startup = self.node.now - t_acquire
+            t1 = self.node.now
+            retries, degraded = yield self.execute(inst, profile, inv_idx)
+            exec_lat = self.node.now - t1
+            inst.last_used = self.node.now
+            inst.invocations += 1
+            yield self._recycle(inst)
+            self._release(function)
+            self._apply_memory_pressure()
+        except Interrupt as intr:
+            # The node died under us: drop whatever was half-built and
+            # re-raise as a typed crash for the dispatcher.
+            self._abort_crashed_instance(inst)
+            cause = intr.cause
+            if not isinstance(cause, NodeCrashedError):
+                cause = NodeCrashedError(self.node.name)
+            raise cause from None
+        degraded = degraded or inst.degraded_start
+        inst.degraded_start = False   # one-shot: only this start was degraded
+        if degraded:
+            self.degraded_invocations += 1
+        self.fault_retries += retries
         result = InvocationResult(function=function, arrival=arrival,
                                   start_kind=kind, startup=startup,
                                   exec=exec_lat,
                                   e2e=self.node.now - t0,
-                                  queue=queue_wait)
+                                  queue=queue_wait,
+                                  retries=retries, degraded=degraded)
         self.recorder.record(result)
         return result
+
+    def _abort_crashed_instance(self, inst: Optional[Instance]) -> None:
+        """Untimed cleanup for an instance lost to a node crash."""
+        if inst is None or inst.retired:
+            return
+        inst.retired = True
+        inst.space.destroy()
 
     def _admit(self, function: str):
         """Timed: wait for an admission slot if the function is capped.
@@ -203,7 +272,15 @@ class ServerlessPlatform:
         if running >= limit:
             gate = self.node.sim.event()
             self._admission_queues.setdefault(function, []).append(gate)
-            yield gate   # slot transferred on wake
+            try:
+                yield gate   # slot transferred on wake
+            except Interrupt:
+                queue = self._admission_queues.get(function)
+                if queue and gate in queue:
+                    queue.remove(gate)      # never got the slot
+                else:
+                    self._release(function)  # slot arrived mid-interrupt
+                raise
         else:
             self._running_per_function[function] = running + 1
         return
@@ -215,7 +292,10 @@ class ServerlessPlatform:
         if queue:
             queue.pop(0).trigger()
         else:
-            self._running_per_function[function] -= 1
+            # .get guards the post-crash case where counters were reset
+            # while this invocation still held a slot.
+            running = self._running_per_function.get(function, 0)
+            self._running_per_function[function] = max(0, running - 1)
 
     # -- hooks ---------------------------------------------------------------------------
 
@@ -245,7 +325,11 @@ class ServerlessPlatform:
 
     def execute(self, inst: Instance, profile: FunctionProfile,
                 inv_idx: int) -> Generator:
-        """Timed: replay the invocation's page-access trace and compute."""
+        """Timed: replay the invocation's page-access trace and compute.
+
+        Returns ``(retries, degraded)``: how many pool-fault retries were
+        consumed and whether any access fell back to a degraded path.
+        """
         node = self.node
         lat = node.latency.mem
         trace = profile.make_trace(self.trace_rng, inv_idx)
@@ -254,6 +338,8 @@ class ServerlessPlatform:
         # Fault handling is CPU work: it stretches under overload.
         overhead = (outcome.minor_faults * lat.minor_fault
                     + outcome.cow_faults * lat.cow_fault)
+        retries = 0
+        degraded = False
         self._inflight_fetches += 1
         try:
             for pool_name, pages in outcome.fetch_pools.items():
@@ -262,23 +348,113 @@ class ServerlessPlatform:
                     raise KeyError(
                         f"{self.name}: fetched from unregistered pool "
                         f"{pool_name!r}")
-                overhead += pool.fetch_time(pages, self._inflight_fetches)
+                t, r, d = yield from self._fetch_with_recovery(pool, pages)
+                overhead += t
+                retries += r
+                degraded = degraded or d
             # CXL (or other byte-addressable) resident loads: per-load
             # latency delta, paid inline during execution.
             if outcome.remote_loads:
-                overhead += self._read_overhead(inst, outcome.remote_loads)
+                t, r, d = yield from self._loads_with_recovery(
+                    inst, outcome.remote_loads)
+                overhead += t
+                retries += r
+                degraded = degraded or d
             yield from node.cpu.compute(profile.exec_cpu + overhead)
         finally:
             self._inflight_fetches -= 1
         io_time = profile.io_time + self._file_io(inst, profile)
         if io_time > 0:
             yield Delay(io_time)
+        return retries, degraded
 
-    def _read_overhead(self, inst: Instance, loads: int) -> float:
+    # -- fault recovery (repro.faults) --------------------------------------------
+
+    def _fetch_with_recovery(self, pool: MemoryPool, npages: int
+                             ) -> Generator:
+        """Timed: fetch cost with bounded retries, then degradation.
+
+        Each backoff is a real :class:`Delay`, so a transient flap can
+        heal mid-invocation and the retry then succeeds at full speed.
+        Returns ``(cpu_seconds, retries, degraded)``.
+        """
+        attempt = 0
+        while True:
+            try:
+                return pool.fetch_time(npages, self._inflight_fetches), \
+                    attempt, False
+            except PoolFault as fault:
+                self.pool_fault_count += 1
+                if attempt >= self.retry_policy.max_retries:
+                    return self._degraded_fetch_time(pool, npages, fault), \
+                        attempt, True
+                yield Delay(self.retry_policy.backoff(attempt))
+                attempt += 1
+
+    def _loads_with_recovery(self, inst: Instance, nloads: int
+                             ) -> Generator:
+        """Timed: direct-load overhead with the same retry/degrade ladder."""
+        pool = None
         for vma in inst.space.vmas:
             if vma.pool is not None and vma.pool.byte_addressable:
-                return vma.pool.read_overhead(loads)
-        return 0.0
+                pool = vma.pool
+                break
+        if pool is None:
+            return 0.0, 0, False
+        attempt = 0
+        while True:
+            try:
+                return pool.read_overhead(nloads), attempt, False
+            except PoolFault as fault:
+                self.pool_fault_count += 1
+                if attempt >= self.retry_policy.max_retries:
+                    # Device gone: every load becomes a remote fetch on
+                    # the fallback path.
+                    return self._degraded_fetch_time(pool, nloads, fault), \
+                        attempt, True
+                yield Delay(self.retry_policy.backoff(attempt))
+                attempt += 1
+
+    def _degraded_fetch_time(self, pool: MemoryPool, npages: int,
+                             fault: PoolFault) -> float:
+        """Cost of serving ``npages`` once ``pool`` is declared dead.
+
+        The degradation ladder of §8.1: try the fallback pool (NAS tier),
+        and as the last rung restore from the node-local snapshot copy —
+        a cold-start-class batched read, slow but always available.
+        """
+        fallback = self.fallback_pool
+        if fallback is not None and fallback is not pool:
+            try:
+                return fallback.fetch_time(npages, self._inflight_fetches)
+            except PoolFault:
+                self.pool_fault_count += 1
+        return self.node.latency.memory_copy(npages * PAGE_SIZE)
+
+    # -- node crash / recovery ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Untimed: the node fails.  Warm state and admission state are
+        lost; in-flight invocations must be interrupted by the caller
+        (the cluster dispatcher does this per tracked slot)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        for inst in self.warm.idle_instances():
+            inst.retired = True
+            inst.space.destroy()
+        self.warm.clear()
+        self._running_per_function.clear()
+        self._admission_queues.clear()
+        self._on_crash()
+
+    def recover(self) -> None:
+        """Untimed: the node comes back, cold — no warm instances."""
+        self.crashed = False
+
+    def _on_crash(self) -> None:
+        """Hook: subclass state lost with the node (sandbox pools, ...)."""
 
     def _file_io(self, inst: Instance, profile: FunctionProfile) -> float:
         """Charge caches for rootfs file IO; return IO seconds.
@@ -334,4 +510,8 @@ class ServerlessPlatform:
             "warm_hits": self.warm.hits,
             "warm_misses": self.warm.misses,
             "warm_size": len(self.warm),
+            "pool_faults": self.pool_fault_count,
+            "fault_retries": self.fault_retries,
+            "degraded_invocations": self.degraded_invocations,
+            "crashes": self.crash_count,
         }

@@ -91,13 +91,13 @@ class UffdTmpfsPool(MemoryPool):
     name = "tmpfs"
     byte_addressable = False
 
-    def fetch_time(self, npages: int, concurrency: int = 1) -> float:
+    def _fetch_time(self, npages: int, concurrency: int = 1) -> float:
         lat = self.latency
         per_page = (lat.mem.userfaultfd_fault + lat.vm.vm_exit
                     + 4096 / 16e9)
         return npages * per_page
 
-    def read_overhead(self, nloads: int) -> float:
+    def _read_overhead(self, nloads: int) -> float:
         return 0.0
 
 

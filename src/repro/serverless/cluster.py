@@ -10,8 +10,9 @@ virtual clock) and dispatches invocations by policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.errors import NodeCrashedError
 from repro.node import Node
 from repro.serverless.base import ServerlessPlatform
 from repro.serverless.metrics import LatencyRecorder
@@ -59,7 +60,7 @@ class WarmAffinity(DispatchPolicy):
 
     def pick(self, platforms, function):
         for platform in platforms:
-            if platform.warm._by_function.get(function):
+            if platform.warm.has(function):
                 return platform
         return min(platforms, key=lambda p: p.node.cpu.load)
 
@@ -74,10 +75,26 @@ class ClusterResult:
     pool_used_mb: float
     dispatch_counts: Dict[str, int]
     duration: float
+    #: LatencyRecorder.availability() of the merged recorder.
+    availability: Dict[str, float] = field(default_factory=dict)
+    redispatches: int = 0
+    node_crashes: int = 0
+    #: (function, arrival, reason) for invocations that never completed.
+    failed: List[Tuple[str, float, str]] = field(default_factory=list)
 
 
 class Cluster:
-    """N hosts driven by one simulator, dispatching one workload."""
+    """N hosts driven by one simulator, dispatching one workload.
+
+    Dispatch is failure-aware: crashed nodes are blacklisted, in-flight
+    invocations on a crashing node are interrupted and re-dispatched to
+    a surviving host, and a recovered node rejoins the candidate set on
+    the next dispatch decision (see repro.faults)."""
+
+    #: Pause before re-scanning when every node is down (simulated s).
+    redispatch_wait = 0.05
+    #: Per-invocation dispatch-attempt budget before declaring failure.
+    max_dispatch_attempts = 200
 
     def __init__(self, platforms: Sequence[ServerlessPlatform],
                  policy: Optional[DispatchPolicy] = None):
@@ -87,9 +104,44 @@ class Cluster:
         if len(sims) != 1:
             raise ValueError("all cluster nodes must share one Simulator")
         self.platforms = list(platforms)
+        self._by_name = {p.node.name: p for p in self.platforms}
+        if len(self._by_name) != len(self.platforms):
+            raise ValueError("cluster node names must be unique")
         self.sim: Simulator = platforms[0].node.sim
         self.policy = policy or WarmAffinity()
         self.dispatch_counts: Dict[str, int] = {}
+        self.redispatches = 0
+        self.node_crashes = 0
+        #: (function, arrival, reason) for invocations we gave up on.
+        self.failed: List[Tuple[str, float, str]] = []
+        self._inflight: List[Dict] = []
+
+    # -- failure handling ---------------------------------------------------
+
+    def healthy_platforms(self) -> List[ServerlessPlatform]:
+        return [p for p in self.platforms if not p.crashed]
+
+    def crash_node(self, name: str) -> None:
+        """Untimed: fail a node; interrupt its in-flight invocations so
+        the dispatcher re-dispatches them to surviving hosts."""
+        platform = self._by_name.get(name)
+        if platform is None:
+            raise KeyError(f"crash_node: unknown node {name!r}")
+        if platform.crashed:
+            return
+        self.node_crashes += 1
+        platform.crash()
+        for slot in self._inflight:
+            if slot["node"] == name and slot["waiter"] is not None:
+                slot["waiter"].interrupt(NodeCrashedError(name))
+
+    def recover_node(self, name: str) -> None:
+        platform = self._by_name.get(name)
+        if platform is None:
+            raise KeyError(f"recover_node: unknown node {name!r}")
+        platform.recover()
+
+    # -- workload driving ---------------------------------------------------
 
     def run_workload(self, workload: Workload,
                      warmup: Optional[float] = None) -> ClusterResult:
@@ -102,15 +154,45 @@ class Cluster:
                 if name not in platform.functions:
                     platform.register_function(function_by_name(name))
 
-        def arrival(event):
+        def arrival(event, slot):
             yield Delay(max(0.0, event.time - self.sim.now))
-            platform = self.policy.pick(self.platforms, event.function)
-            key = platform.node.name
-            self.dispatch_counts[key] = self.dispatch_counts.get(key, 0) + 1
-            yield platform.invoke(event.function, arrival=event.time)
+            excluded: set = set()
+            for _attempt in range(self.max_dispatch_attempts):
+                candidates = [p for p in self.platforms
+                              if not p.crashed
+                              and p.node.name not in excluded]
+                if not candidates:
+                    # Whole rack down (or every survivor just failed us):
+                    # wait for recovery and retry every node.
+                    excluded.clear()
+                    yield Delay(self.redispatch_wait)
+                    continue
+                platform = self.policy.pick(candidates, event.function)
+                key = platform.node.name
+                self.dispatch_counts[key] = (
+                    self.dispatch_counts.get(key, 0) + 1)
+                slot["node"] = key
+                try:
+                    yield platform.invoke(event.function,
+                                          arrival=event.time)
+                    return
+                except NodeCrashedError:
+                    excluded.add(key)
+                    self.redispatches += 1
+                finally:
+                    slot["node"] = None
+            self.failed.append((event.function, event.time,
+                                "dispatch budget exhausted"))
 
-        waiters = [self.sim.spawn(arrival(e), name=f"cinv-{i}")
-                   for i, e in enumerate(workload.events)]
+        slots: List[Dict] = []
+        waiters = []
+        for i, e in enumerate(workload.events):
+            slot = {"node": None, "waiter": None}
+            waiter = self.sim.spawn(arrival(e, slot), name=f"cinv-{i}")
+            slot["waiter"] = waiter
+            slots.append(slot)
+            waiters.append(waiter)
+        self._inflight = slots
         self.sim.run()
         if any(not w.done for w in waiters):
             raise RuntimeError("cluster run left invocations unfinished")
@@ -120,6 +202,8 @@ class Cluster:
         for platform in self.platforms:
             for result in platform.recorder.results:
                 merged.record(result)
+        for function, when, reason in self.failed:
+            merged.record_failure(function, when, reason)
         peaks = [p.node.memory.peak_bytes / (1 << 20)
                  for p in self.platforms]
         pool_mb = 0.0
@@ -133,14 +217,21 @@ class Cluster:
             pool_used_mb=pool_mb,
             dispatch_counts=dict(self.dispatch_counts),
             duration=self.sim.now,
+            availability=merged.availability(),
+            redispatches=self.redispatches,
+            node_crashes=self.node_crashes,
+            failed=list(self.failed),
         )
 
 
 def make_trenv_cluster(n_nodes: int, pool, store=None, seed: int = 0,
                        cores: int = 64,
                        policy: Optional[DispatchPolicy] = None,
-                       config=None) -> Cluster:
-    """A rack of TrEnv hosts sharing one memory pool and dedup store."""
+                       config=None, fallback_pool=None) -> Cluster:
+    """A rack of TrEnv hosts sharing one memory pool and dedup store.
+
+    ``fallback_pool`` (e.g. a NASPool) becomes every host's degradation
+    target should the shared pool go offline mid-run."""
     from repro.core.platform import TrEnvPlatform
     from repro.mem.pools import DedupStore
 
@@ -149,7 +240,9 @@ def make_trenv_cluster(n_nodes: int, pool, store=None, seed: int = 0,
     platforms = []
     for i in range(n_nodes):
         node = Node(sim=sim, cores=cores, seed=seed + i, name=f"node{i}")
-        platforms.append(TrEnvPlatform(node, pool, store=store,
-                                       config=config,
-                                       name=f"t-cxl-n{i}", seed=seed + i))
+        platform = TrEnvPlatform(node, pool, store=store, config=config,
+                                 name=f"t-cxl-n{i}", seed=seed + i)
+        if fallback_pool is not None:
+            platform.set_fallback_pool(fallback_pool)
+        platforms.append(platform)
     return Cluster(platforms, policy=policy)

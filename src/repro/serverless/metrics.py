@@ -29,6 +29,8 @@ class InvocationResult:
     exec: float            # execution-phase latency
     e2e: float             # end-to-end (queue + startup + exec)
     queue: float = 0.0     # admission-control wait (concurrency limit)
+    retries: int = 0       # pool-fault retries consumed (backoff waits)
+    degraded: bool = False  # completed via a fallback/degraded path
 
     def __post_init__(self):
         if self.e2e + 1e-9 < self.startup + self.exec + self.queue:
@@ -41,9 +43,15 @@ class LatencyRecorder:
     def __init__(self, warmup: float = 0.0):
         self.warmup = warmup
         self.results: List[InvocationResult] = []
+        #: Invocations that never completed: (function, arrival, reason).
+        self.failures: List[Tuple[str, float, str]] = []
 
     def record(self, result: InvocationResult) -> None:
         self.results.append(result)
+
+    def record_failure(self, function: str, arrival: float,
+                       reason: str = "") -> None:
+        self.failures.append((function, arrival, reason))
 
     # -- selection ----------------------------------------------------------------
 
@@ -92,6 +100,27 @@ class LatencyRecorder:
 
     def count(self, function: Optional[str] = None) -> int:
         return len(self.measured(function))
+
+    def availability(self) -> Dict[str, float]:
+        """Availability under faults: how invocations fared, post-warmup.
+
+        ``degraded`` counts invocations that completed via a fallback
+        path (slower, but no error); ``retried`` those that consumed at
+        least one pool-fault retry; ``failed`` those that never
+        completed (e.g. the whole rack was down past the re-dispatch
+        budget).
+        """
+        rs = self.measured()
+        failed = [f for f in self.failures if f[1] >= self.warmup]
+        total = len(rs) + len(failed)
+        return {
+            "completed": len(rs),
+            "failed": len(failed),
+            "degraded": sum(1 for r in rs if r.degraded),
+            "retried": sum(1 for r in rs if r.retries > 0),
+            "retries_total": sum(r.retries for r in rs),
+            "success_rate": (len(rs) / total) if total else 1.0,
+        }
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Per-function P50/P99 e2e + mean startup, for report tables."""

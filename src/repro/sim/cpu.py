@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator, Optional
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Interrupt, Simulator
 
 
 class _ComputeTask:
@@ -59,7 +59,16 @@ class FairShareCPU:
         task_id = next(self._ids)
         self._tasks[task_id] = _ComputeTask(work, done, self.sim.now)
         self._reschedule()
-        yield done
+        try:
+            yield done
+        except Interrupt:
+            # The computing process was killed (node crash): drop its
+            # task so it stops inflating the shared load forever.
+            if task_id in self._tasks:
+                self._advance_all()
+                self._tasks.pop(task_id)
+                self._reschedule()
+            raise
         return
 
     @property
@@ -156,18 +165,28 @@ class VCPUQuota:
         if self._running >= self.vcpus:
             gate = self.cpu.sim.event()
             self._waiting.append(gate)
-            yield gate       # on wake the slot is already ours
+            try:
+                yield gate   # on wake the slot is already ours
+            except Interrupt:
+                if gate in self._waiting:
+                    self._waiting.remove(gate)   # never got the slot
+                else:
+                    self._release_slot()         # slot arrived mid-interrupt
+                raise
         else:
             self._running += 1
         try:
             yield from self.cpu.compute(work)
         finally:
-            if self._waiting:
-                # Hand the slot directly to the next waiter so a new
-                # arrival cannot slip in between release and wake-up.
-                self._waiting.pop(0).trigger()
-            else:
-                self._running -= 1
+            self._release_slot()
+
+    def _release_slot(self) -> None:
+        if self._waiting:
+            # Hand the slot directly to the next waiter so a new
+            # arrival cannot slip in between release and wake-up.
+            self._waiting.pop(0).trigger()
+        else:
+            self._running -= 1
 
     @property
     def queued(self) -> int:

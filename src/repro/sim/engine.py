@@ -118,7 +118,7 @@ class _Task:
     """Internal driver for one process generator."""
 
     __slots__ = ("sim", "gen", "finished", "result", "error", "done_event",
-                 "_waiting_on", "_stack", "name")
+                 "_waiting_on", "_stack", "name", "_epoch")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
@@ -131,6 +131,10 @@ class _Task:
         self._waiting_on: Optional[Event] = None
         # Stack of suspended parent generators (sub-process calls).
         self._stack: List[Generator] = []
+        # Bumped by interrupt() to invalidate queue entries scheduled
+        # before the interrupt (e.g. a pending Delay wake-up) — without
+        # this, an interrupted sleeper would get a spurious second wake.
+        self._epoch = 0
 
     def interrupt(self, cause: Any = None) -> None:
         if self.finished:
@@ -138,6 +142,7 @@ class _Task:
         if self._waiting_on is not None:
             self._waiting_on.remove_waiter(self)
             self._waiting_on = None
+        self._epoch += 1
         self.sim._schedule(0.0, self, Interrupt(cause))
 
     def step(self, send_value: Any) -> None:
@@ -224,7 +229,7 @@ class Simulator:
 
     def __init__(self):
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, _Task, Any]] = []
+        self._queue: List[Tuple[float, int, _Task, Any, int]] = []
         self._seq = itertools.count()
         self._callbacks: List[Tuple[float, int, Callable[[], None]]] = []
 
@@ -246,7 +251,9 @@ class Simulator:
         heapq.heappush(self._callbacks, (when, next(self._seq), fn))
 
     def _schedule(self, dt: float, task: _Task, value: Any) -> None:
-        heapq.heappush(self._queue, (self.now + dt, next(self._seq), task, value))
+        heapq.heappush(self._queue,
+                       (self.now + dt, next(self._seq), task, value,
+                        task._epoch))
 
     # -- running -------------------------------------------------------------
 
@@ -292,10 +299,13 @@ class Simulator:
             self.now = when
             fn()
             return
-        when, _seq, task, value = heapq.heappop(self._queue)
+        when, _seq, task, value, epoch = heapq.heappop(self._queue)
+        if task.finished or epoch != task._epoch:
+            # Stale wake-up (task interrupted since it was scheduled):
+            # drop it without advancing the clock.
+            return
         self.now = when
-        if not task.finished:
-            task.step(value)
+        task.step(value)
 
     # -- conveniences --------------------------------------------------------
 

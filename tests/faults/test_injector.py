@@ -1,0 +1,137 @@
+import pytest
+
+from repro.faults import (FaultInjector, FaultKind, FaultPlan,
+                          PoolExhaustedError, PoolTimeoutError,
+                          PoolUnavailableError)
+from repro.mem.layout import MB, PAGE_SIZE
+from repro.mem.pools import RDMAPool
+from repro.sim.engine import Simulator
+
+
+def make_injector(plan, pool=None):
+    sim = Simulator()
+    pool = pool or RDMAPool(64 * MB)
+    return sim, pool, FaultInjector(sim, plan, pools={pool.name: pool})
+
+
+class TestArming:
+    def test_arm_twice_raises(self):
+        sim, pool, injector = make_injector(FaultPlan())
+        injector.arm()
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm()
+
+    def test_unknown_pool_target_raises_at_arm(self):
+        sim, pool, injector = make_injector(
+            FaultPlan().pool_offline(1.0, "nonexistent"))
+        with pytest.raises(KeyError, match="unknown pool"):
+            injector.arm()
+        # A failed arm leaves the injector re-armable with nothing queued.
+        assert not injector.armed
+        sim.run()
+        assert injector.timeline() == ()
+
+    def test_empty_plan_schedules_nothing(self):
+        sim, pool, injector = make_injector(FaultPlan())
+        injector.arm()
+        sim.run()
+        assert sim.now == 0.0
+        assert injector.timeline() == ()
+
+
+class TestOfflineWindow:
+    def test_pool_fails_then_recovers_on_the_virtual_clock(self):
+        plan = FaultPlan().pool_offline(2.0, "rdma", duration=1.5)
+        sim, pool, injector = make_injector(plan)
+        injector.arm()
+        assert pool.available
+        sim.run(until=2.5)
+        assert not pool.available
+        with pytest.raises(PoolUnavailableError):
+            pool.fetch_time(10)
+        sim.run(until=4.0)
+        assert pool.available
+        assert pool.fetch_time(10) > 0
+        assert injector.timeline() == (
+            (2.0, FaultKind.POOL_OFFLINE, "rdma"),
+            (3.5, FaultKind.POOL_OFFLINE + "-end", "rdma"),
+        )
+
+    def test_permanent_offline_without_duration(self):
+        plan = FaultPlan().pool_offline(1.0, "rdma")
+        sim, pool, injector = make_injector(plan)
+        injector.arm()
+        sim.run()
+        assert not pool.available
+        assert len(injector.timeline()) == 1
+
+
+class TestOtherKinds:
+    def test_timeout_burst_fails_exactly_n_fetches(self):
+        plan = FaultPlan().fetch_timeouts(1.0, "rdma", count=2)
+        sim, pool, injector = make_injector(plan)
+        injector.arm()
+        sim.run()
+        for _ in range(2):
+            with pytest.raises(PoolTimeoutError):
+                pool.fetch_time(5)
+        assert pool.fetch_time(5) > 0
+        assert pool.timeouts_served == 2
+
+    def test_degrade_window_multiplies_fetch_time(self):
+        plan = FaultPlan().pool_degrade(1.0, "rdma", factor=4.0,
+                                        duration=2.0)
+        sim, pool, injector = make_injector(plan)
+        baseline = pool.fetch_time(100)
+        injector.arm()
+        sim.run(until=1.5)
+        assert pool.fetch_time(100) == pytest.approx(4.0 * baseline)
+        sim.run(until=5.0)
+        assert pool.fetch_time(100) == pytest.approx(baseline)
+
+    def test_exhaust_window_blocks_allocations(self):
+        plan = FaultPlan().pool_exhaust(1.0, "rdma", duration=1.0)
+        sim, pool, injector = make_injector(plan)
+        injector.arm()
+        sim.run(until=1.5)
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate_pages(1)
+        # The typed error still satisfies legacy MemoryError handlers.
+        with pytest.raises(MemoryError):
+            pool.allocate_pages(1)
+        sim.run(until=3.0)
+        assert len(pool.allocate_pages(1)) == 1
+
+
+class TestNodeCrashDispatch:
+    def test_platform_crash_and_recover(self):
+        class FakePlatform:
+            def __init__(self):
+                self.node = type("N", (), {"name": "node0"})()
+                self.crashed = False
+
+            def crash(self):
+                self.crashed = True
+
+            def recover(self):
+                self.crashed = False
+
+        sim = Simulator()
+        platform = FakePlatform()
+        plan = FaultPlan().node_crash(1.0, "node0", duration=2.0)
+        injector = FaultInjector(sim, plan, platforms=[platform])
+        injector.arm()
+        sim.run(until=1.5)
+        assert platform.crashed
+        sim.run(until=4.0)
+        assert not platform.crashed
+        assert injector.timeline() == (
+            (1.0, FaultKind.NODE_CRASH, "node0"),
+            (3.0, FaultKind.NODE_CRASH + "-end", "node0"),
+        )
+
+    def test_unknown_node_raises_at_arm(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, FaultPlan().node_crash(1.0, "ghost"))
+        with pytest.raises(KeyError, match="unknown node"):
+            injector.arm()

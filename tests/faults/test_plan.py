@@ -1,0 +1,82 @@
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(1.0, "meteor-strike", "rdma")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="negative fault time"):
+            FaultEvent(-1.0, FaultKind.POOL_OFFLINE, "rdma")
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(1.0, FaultKind.POOL_OFFLINE, "rdma", duration=0.0)
+
+    def test_rejects_speedup_degrade(self):
+        with pytest.raises(ValueError, match="degrade factor"):
+            FaultEvent(1.0, FaultKind.POOL_DEGRADE, "rdma", factor=0.5)
+
+    def test_timeout_burst_needs_count(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultEvent(1.0, FaultKind.FETCH_TIMEOUT, "rdma")
+
+
+class TestFaultPlanBuilding:
+    def test_builders_chain_and_sort_by_time(self):
+        plan = (FaultPlan()
+                .pool_offline(5.0, "rdma", duration=1.0)
+                .node_crash(2.0, "node0")
+                .fetch_timeouts(9.0, "rdma", count=3))
+        assert len(plan) == 3
+        assert [e.time for e in plan] == [2.0, 5.0, 9.0]
+
+    def test_link_flap_is_short_offline(self):
+        plan = FaultPlan().link_flap(1.0, "rdma", duration=0.25)
+        (event,) = plan.events
+        assert event.kind == FaultKind.POOL_OFFLINE
+        assert event.duration == 0.25
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.signature() == ()
+
+    def test_signature_identifies_schedule(self):
+        a = FaultPlan().pool_offline(1.0, "rdma").node_crash(2.0, "n0")
+        b = FaultPlan().node_crash(2.0, "n0").pool_offline(1.0, "rdma")
+        c = FaultPlan().pool_offline(1.5, "rdma").node_crash(2.0, "n0")
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+
+
+class TestChaosGeneration:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(duration=600.0, pools=("rdma",), nodes=("node0",))
+        a = FaultPlan.chaos(7, **kwargs)
+        b = FaultPlan.chaos(7, **kwargs)
+        assert a.signature() == b.signature()
+
+    def test_different_seed_different_plan(self):
+        kwargs = dict(duration=600.0, pools=("rdma",), nodes=("node0",))
+        a = FaultPlan.chaos(7, **kwargs)
+        b = FaultPlan.chaos(8, **kwargs)
+        assert a.signature() != b.signature()
+
+    def test_events_fit_window_and_menu(self):
+        plan = FaultPlan.chaos(3, duration=600.0, pools=("rdma",),
+                               nodes=("node0",), mean_interval=30.0)
+        assert len(plan) > 0
+        for event in plan:
+            assert 0.0 <= event.time < 600.0
+            assert event.target in ("rdma", "node0")
+            if event.kind == FaultKind.NODE_CRASH:
+                assert event.target == "node0"
+
+    def test_needs_targets(self):
+        with pytest.raises(ValueError, match="at least one pool or node"):
+            FaultPlan.chaos(1, duration=100.0)

@@ -1,6 +1,8 @@
 import numpy as np
 import pytest
 
+from repro.faults.errors import (PoolExhaustedError, PoolTimeoutError,
+                                 PoolUnavailableError)
 from repro.mem.layout import MB, PAGE_SIZE
 from repro.mem.pools import (CXLPool, DedupStore, NASPool, RDMAPool,
                              TieredPool)
@@ -19,6 +21,27 @@ def test_pool_capacity_enforced():
     pool.allocate_pages(2)
     with pytest.raises(MemoryError):
         pool.allocate_pages(1)
+
+
+def test_exhaustion_error_is_typed_and_a_memory_error():
+    pool = RDMAPool(capacity_bytes=2 * PAGE_SIZE)
+    pool.allocate_pages(2)
+    with pytest.raises(PoolExhaustedError, match="rdma"):
+        pool.allocate_pages(1)
+    assert not pool.can_allocate(1)
+    assert pool.can_allocate(0)
+    # The failed attempt reserved nothing.
+    assert pool.used_pages == 2
+
+
+def test_forced_exhaustion_window():
+    pool = CXLPool(64 * MB)
+    pool.exhaust()
+    assert not pool.can_allocate(1)
+    with pytest.raises(PoolExhaustedError):
+        pool.allocate_pages(1)
+    pool.replenish()
+    assert len(pool.allocate_pages(1)) == 1
 
 
 def test_cxl_is_byte_addressable_rdma_is_not():
@@ -142,3 +165,116 @@ class TestTieredPool:
         assert len(hot_offs) == 5
         assert len(cold_offs) == 5
         assert (cold_offs < 1 << 40).all()
+
+    def test_masked_allocation_respects_tier_capacity(self):
+        # Hot tier fits 2 pages; asking for 3 hot pages must fail even
+        # though the combined capacity would cover them.
+        hot, cold = CXLPool(2 * PAGE_SIZE), RDMAPool(64 * MB)
+        tiered = TieredPool(hot, cold)
+        mask = np.array([True, True, True, False])
+        with pytest.raises(PoolExhaustedError, match="tiered"):
+            tiered.allocate_pages_masked(mask)
+
+    def test_masked_allocation_is_atomic(self):
+        # A request that overflows the cold tier must not leak pages
+        # into the hot tier (and vice versa).
+        hot, cold = CXLPool(64 * MB), RDMAPool(2 * PAGE_SIZE)
+        tiered = TieredPool(hot, cold)
+        mask = np.array([True, False, False, False])  # 3 cold > capacity
+        with pytest.raises(MemoryError):
+            tiered.allocate_pages_masked(mask)
+        assert hot.used_pages == 0
+        assert cold.used_pages == 0
+        assert tiered.used_bytes == 0
+        # A fitting request afterwards still succeeds.
+        ok = tiered.allocate_pages_masked(np.array([True, False]))
+        assert len(ok) == 2
+
+
+class TestPoolHealth:
+    def test_offline_pool_raises_typed_fault(self):
+        pool = RDMAPool(MB)
+        pool.fail("link down")
+        assert not pool.available
+        with pytest.raises(PoolUnavailableError, match="link down"):
+            pool.fetch_time(10)
+        with pytest.raises(PoolUnavailableError):
+            pool.read_overhead(10)
+        pool.recover()
+        assert pool.available
+        assert pool.fetch_time(10) > 0
+
+    def test_degrade_multiplies_and_restores_exactly(self):
+        pool = CXLPool(MB)
+        base_fetch = pool.fetch_time(100)
+        base_read = pool.read_overhead(100)
+        pool.degrade(3.0)
+        assert pool.fetch_time(100) == pytest.approx(3.0 * base_fetch)
+        assert pool.read_overhead(100) == pytest.approx(3.0 * base_read)
+        pool.restore_speed()
+        # Bit-exact: factor 1.0 never multiplies.
+        assert pool.fetch_time(100) == base_fetch
+        assert pool.read_overhead(100) == base_read
+
+    def test_degrade_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            RDMAPool(MB).degrade(0.5)
+
+    def test_timeout_budget_consumed_per_fetch(self):
+        pool = RDMAPool(MB)
+        pool.inject_timeouts(1)
+        with pytest.raises(PoolTimeoutError):
+            pool.fetch_time(1)
+        assert pool.fetch_time(1) > 0
+        assert pool.timeouts_served == 1
+
+    def test_tiered_health_follows_sub_pools(self):
+        hot, cold = CXLPool(64 * MB), RDMAPool(64 * MB)
+        tiered = TieredPool(hot, cold)
+        # Demand fetches go to the cold tier, so a cold-tier outage
+        # surfaces through the tiered pool's fetch path.
+        cold.fail("rdma down")
+        with pytest.raises(PoolUnavailableError):
+            tiered.fetch_time(10)
+        cold.recover()
+        hot.fail("cxl offline")
+        with pytest.raises(PoolUnavailableError):
+            tiered.read_overhead(10)
+
+
+class TestDedupStoreVectorised:
+    def _reference_offsets(self, images):
+        """The original dict-based dedup as ground truth."""
+        index = {}
+        next_offset = 0
+        out = []
+        for cids in images:
+            missing = sorted(set(int(c) for c in cids) - index.keys())
+            for cid in missing:
+                index[cid] = next_offset
+                next_offset += 1
+            out.append(np.array([index[int(c)] for c in cids]))
+        return out
+
+    def test_offsets_match_dict_reference(self):
+        rng = np.random.default_rng(42)
+        images = [rng.integers(0, 500, size=300),
+                  rng.integers(200, 900, size=400),
+                  rng.integers(0, 1000, size=250)]
+        store = DedupStore(CXLPool(64 * MB))
+        got = [store.store_image(np.asarray(img, dtype=np.int64)).offsets
+               for img in images]
+        want = self._reference_offsets(images)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+    def test_large_image_with_heavy_duplication(self):
+        rng = np.random.default_rng(7)
+        cids = rng.integers(0, 1000, size=50_000)
+        store = DedupStore(CXLPool(64 * MB))
+        block = store.store_image(cids)
+        assert store.unique_pages_stored == len(np.unique(cids))
+        # Every page with the same content id shares one offset.
+        for cid in (int(cids[0]), int(cids[-1])):
+            offs = block.offsets[cids == cid]
+            assert (offs == offs[0]).all()

@@ -40,7 +40,7 @@ class TestCLI:
     def test_every_experiment_registered(self):
         expected = {"table1", "table2", "table3", "fig3", "fig4", "fig10",
                     "fig17", "fig18b", "fig19", "fig20", "fig21", "fig22",
-                    "fig23", "fig24", "fig25", "fig26"}
+                    "fig23", "fig24", "fig25", "fig26", "chaos"}
         assert set(EXPERIMENTS) == expected
 
     def test_parser_rejects_unknown(self):
