@@ -86,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="TrEnv paper experiments")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    perf = sub.add_parser(
+        "perf", help="host-side perf harness (writes BENCH_perf.json)")
+    perf.add_argument("--quick", action="store_true",
+                      help="CI-sized run: fewer iterations, shorter workload")
+    perf.add_argument("--out", default="BENCH_perf.json",
+                      help="output path (default: BENCH_perf.json)")
+    perf.add_argument("--json", action="store_true",
+                      help="emit raw JSON instead of pretty print")
     for name in EXPERIMENTS:
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--workload", default="W1", choices=("W1", "W2"))
@@ -104,8 +112,13 @@ def main(argv=None) -> int:
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
+        print("perf")
         return 0
-    result = EXPERIMENTS[args.command](args)
+    if args.command == "perf":
+        from repro.bench.perf import run_perf
+        result = run_perf(quick=args.quick, out_path=args.out)
+    else:
+        result = EXPERIMENTS[args.command](args)
     payload = _jsonable(result)
     if getattr(args, "json", False):
         json.dump(payload, sys.stdout)

@@ -139,6 +139,12 @@ class MMTemplateRegistry:
         page contents.  Cost: one ioctl plus a linear metadata walk; the
         400 KB of metadata for a 70 MB image copies in well under a
         millisecond (§9.4).
+
+        Host-side the clone is O(1) per VMA: ``clone_metadata`` shares
+        the template's frozen arrays copy-on-write (:mod:`repro.mem.cow`)
+        and the attached instance materialises only the chunks its
+        invocations write.  The simulated cost formula above is
+        deliberately unchanged by that flag.
         """
         self._check_root(as_root)
         lat = self.latency.mem

@@ -15,8 +15,10 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import optflags
 from repro.mem.address_space import (MAP_PRIVATE, PROT_EXEC, PROT_READ,
                                      PROT_WRITE, AddressSpace)
+from repro.mem.cow import CowPageArray, TemplateBase
 from repro.mem.layout import PAGE_SIZE
 from repro.workloads.functions import FunctionProfile
 
@@ -50,6 +52,9 @@ class SnapshotImage:
         self.content_ids = np.asarray(content_ids, dtype=np.int64)
         self.n_threads = n_threads
         self.n_fds = n_fds
+        # Frozen per-VMA content-id bases, built lazily on first restore:
+        # every address space built from this image shares them CoW.
+        self._content_bases = None
 
     @property
     def total_pages(self) -> int:
@@ -79,12 +84,30 @@ class SnapshotImage:
 
     def build_address_space(self, name: str = "",
                             on_local_delta=None) -> AddressSpace:
-        """Instantiate the layout (PTEs all empty; caller populates)."""
+        """Instantiate the layout (PTEs all empty; caller populates).
+
+        Content ids are shared with the image copy-on-write (one frozen
+        base per VMA, reused by every restore of this image) so repeated
+        restores copy no per-page arrays; with
+        :data:`repro.optflags.cow_attach` off they are copied as before.
+        """
         space = AddressSpace(name=name or self.function,
                              on_local_delta=on_local_delta)
-        for vma, content in self.vma_content_slices():
-            new = space.add_vma(vma.name, vma.npages, vma.prot, vma.flags)
-            new.content[:] = content
+        if optflags.cow_attach:
+            if self._content_bases is None:
+                self._content_bases = [
+                    TemplateBase(content.copy())
+                    for _vma, content in self.vma_content_slices()]
+            for (vma, _content), base in zip(self.vma_content_slices(),
+                                             self._content_bases):
+                new = space.add_vma(vma.name, vma.npages, vma.prot,
+                                    vma.flags)
+                new.content = CowPageArray(base)
+        else:
+            for vma, content in self.vma_content_slices():
+                new = space.add_vma(vma.name, vma.npages, vma.prot,
+                                    vma.flags)
+                new.content[:] = content
         return space
 
     @classmethod

@@ -72,11 +72,13 @@ class CRIUEngine:
         # Step 1: recreate the virtual memory layout (one mmap per VMA).
         yield Delay(lat.mem.mmap_syscall * len(image.vmas))
         self.stats.mmap_calls += len(image.vmas)
-        # Step 2: copy the memory image from the snapshot store.
+        # Step 2: copy the memory image from the snapshot store.  The
+        # *simulated* cost is the full-image copy either way; host-side
+        # the content ids stay shared CoW with the image
+        # (build_address_space) and only PTE state is materialised.
         yield Delay(lat.memory_copy(image.nbytes))
         self.stats.bytes_copied += image.nbytes
-        for vma in space.vmas:
-            space.populate_local(vma)
+        space.populate_all_local()
         # Step 3: restore the process shell, threads, fds, sockets.
         proc = yield self.procs.spawn(name or image.function,
                                       address_space=space)

@@ -14,16 +14,23 @@ cases TrEnv's kernel patch distinguishes (§5.1):
   materialises a private local copy).
 
 State arrays are numpy vectors so multi-hundred-MB images (IR is 855 MB —
-219k pages) stay cheap to manipulate.
+219k pages) stay cheap to manipulate.  Template attach shares those
+vectors copy-on-write (:mod:`repro.mem.cow`): a clone carries chunked
+CoW views of the template arrays and materialises only the chunks an
+invocation actually writes, so attach host cost is O(metadata) exactly
+as the paper claims for ``mmt_attach``.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import optflags
+from repro.mem.cow import CowPageArray, TemplateBase, count_equal
 from repro.mem.layout import PAGE_SIZE
 from repro.mem.pools import MemoryPool, PoolBlock
 
@@ -44,7 +51,7 @@ class VMA:
     """A virtual memory area: contiguous pages with uniform protection."""
 
     __slots__ = ("name", "start", "prot", "flags", "state", "offsets",
-                 "content", "pool")
+                 "content", "pool", "_bases")
 
     def __init__(self, name: str, start: int, npages: int, prot: int,
                  flags: int = MAP_PRIVATE):
@@ -58,6 +65,8 @@ class VMA:
         # Page content ids (for snapshotting/dedup); -1 = undefined.
         self.content = np.full(npages, -1, dtype=np.int64)
         self.pool: Optional[MemoryPool] = None
+        # Frozen template bases, built lazily on the first CoW clone.
+        self._bases: Optional[Tuple[TemplateBase, ...]] = None
 
     @property
     def npages(self) -> int:
@@ -81,20 +90,49 @@ class VMA:
         if npages <= 0:
             return
         self.state = np.concatenate(
-            [self.state, np.zeros(npages, dtype=np.uint8)])
+            [np.asarray(self.state), np.zeros(npages, dtype=np.uint8)])
         self.offsets = np.concatenate(
-            [self.offsets, np.full(npages, -1, dtype=np.int64)])
+            [np.asarray(self.offsets), np.full(npages, -1, dtype=np.int64)])
         self.content = np.concatenate(
-            [self.content, np.full(npages, -1, dtype=np.int64)])
+            [np.asarray(self.content), np.full(npages, -1, dtype=np.int64)])
+        self._bases = None
 
     def clone_metadata(self) -> "VMA":
-        """Duplicate PTE metadata only (what ``mmt_attach`` copies)."""
-        out = VMA(self.name, self.start, 0, self.prot, self.flags)
-        out.state = self.state.copy()
-        out.offsets = self.offsets.copy()
-        out.content = self.content.copy()
+        """Duplicate PTE metadata only (what ``mmt_attach`` copies).
+
+        With :data:`repro.optflags.cow_attach` on, the clone shares the
+        source arrays copy-on-write: the source arrays are frozen (writes
+        to them now fail fast) and the clone materialises private chunks
+        only where it is written.  Host cost is O(1) per VMA instead of
+        O(pages); simulated attach cost is unchanged either way.
+        """
+        out = VMA.__new__(VMA)   # skip __init__: no throwaway arrays
+        out.name = self.name
+        out.start = self.start
+        out.prot = self.prot
+        out.flags = self.flags
         out.pool = self.pool
+        out._bases = None
+        if optflags.cow_attach and type(self.state) is np.ndarray:
+            bases = self._bases
+            if bases is None:
+                bases = self._bases = (TemplateBase(self.state),
+                                       TemplateBase(self.offsets),
+                                       TemplateBase(self.content))
+            out.state = CowPageArray(bases[0])
+            out.offsets = CowPageArray(bases[1])
+            out.content = CowPageArray(bases[2])
+        else:
+            out.state = _dense_copy(self.state)
+            out.offsets = _dense_copy(self.offsets)
+            out.content = _dense_copy(self.content)
         return out
+
+
+def _dense_copy(arr) -> np.ndarray:
+    if isinstance(arr, CowPageArray):
+        return arr.to_ndarray()
+    return arr.copy()
 
 
 @dataclass
@@ -107,7 +145,7 @@ class AccessOutcome:
     pages_fetched: int = 0         # pages pulled from a non-addressable pool
     local_pages_allocated: int = 0
     remote_loads: int = 0          # cache-missing loads served from CXL
-    fetch_pools: Dict[str, int] = field(default_factory=dict)
+    fetch_pools: Counter = field(default_factory=Counter)
 
     def merge(self, other: "AccessOutcome") -> None:
         self.minor_faults += other.minor_faults
@@ -116,8 +154,7 @@ class AccessOutcome:
         self.pages_fetched += other.pages_fetched
         self.local_pages_allocated += other.local_pages_allocated
         self.remote_loads += other.remote_loads
-        for pool, pages in other.fetch_pools.items():
-            self.fetch_pools[pool] = self.fetch_pools.get(pool, 0) + pages
+        self.fetch_pools.update(other.fetch_pools)
 
 
 class AddressSpace:
@@ -158,8 +195,7 @@ class AddressSpace:
         """
         self.vmas.append(vma)
         self._cum = None
-        resident = int(np.count_nonzero(vma.state == PTE_LOCAL))
-        self._charge(resident)
+        self._charge(count_equal(vma.state, PTE_LOCAL))
         return vma
 
     def find_vma(self, name: str) -> VMA:
@@ -184,12 +220,30 @@ class AddressSpace:
 
     def populate_local(self, vma: VMA, content_base: int = 0) -> None:
         """Materialise every page of ``vma`` as private local memory."""
-        fresh = int(np.count_nonzero(vma.state != PTE_LOCAL))
+        fresh = vma.npages - count_equal(vma.state, PTE_LOCAL)
         vma.state[:] = PTE_LOCAL
-        missing = vma.content == -1
-        if missing.any():
+        if count_equal(vma.content, -1):
+            missing = np.asarray(vma.content == -1)
             idx = np.nonzero(missing)[0]
             vma.content[idx] = content_base + idx
+        self._charge(fresh)
+
+    def populate_all_local(self, content_base: int = 0) -> None:
+        """Materialise every VMA as local (the eager CRIU restore path).
+
+        Equivalent to :meth:`populate_local` over all VMAs, but charges
+        the accountant once — content-id arrays shared CoW with a
+        snapshot image stay shared (``count_equal`` answers the missing-
+        content check from the cached base without densifying).
+        """
+        fresh = 0
+        for vma in self.vmas:
+            fresh += vma.npages - count_equal(vma.state, PTE_LOCAL)
+            vma.state[:] = PTE_LOCAL
+            if count_equal(vma.content, -1):
+                missing = np.asarray(vma.content == -1)
+                idx = np.nonzero(missing)[0]
+                vma.content[idx] = content_base + idx
         self._charge(fresh)
 
     def bind_remote(self, vma: VMA, block: PoolBlock, valid) -> None:
@@ -203,7 +257,7 @@ class AddressSpace:
         if block.npages != vma.npages:
             raise ValueError(
                 f"block/vma size mismatch: {block.npages} != {vma.npages}")
-        freed = int(np.count_nonzero(vma.state == PTE_LOCAL))
+        freed = count_equal(vma.state, PTE_LOCAL)
         if isinstance(valid, bool):
             vma.state[:] = PTE_REMOTE_RO if valid else PTE_REMOTE_INVALID
         else:
@@ -226,90 +280,78 @@ class AddressSpace:
         address space (see :meth:`flatten`).  ``read_loads`` is the number
         of cache-missing *loads* issued against pages that end up resident
         on a byte-addressable pool — it prices CXL's extra latency.
+
+        One pass per trace: indices arrive sorted (traces are), so each
+        VMA's touches form one contiguous run found with a single
+        ``searchsorted`` against the cumulative layout — no per-VMA masks,
+        no per-VMA outcome objects.
         """
         out = AccessOutcome()
-        for vma_idx, idx in self._split(write_pages):
-            out.merge(self._fault_writes(self.vmas[vma_idx], idx))
-        for vma_idx, idx in self._split(read_pages):
-            out.merge(self._fault_reads(self.vmas[vma_idx], idx))
-        if read_loads:
-            out.remote_loads += self._count_remote_loads(read_pages, read_loads)
+        for vma, idx in self._iter_vma_runs(write_pages):
+            self._fault_writes(vma, idx, out)
+        remote_ro = 0
+        n_reads = len(read_pages) if read_pages is not None else 0
+        for vma, idx in self._iter_vma_runs(read_pages):
+            remote_ro += self._fault_reads(vma, idx, out)
+        if read_loads and n_reads:
+            # Apportion load count to reads still resident on a remote
+            # byte-addressable pool.  Reads never demote REMOTE_RO pages,
+            # so counting during the pass equals counting after it.
+            out.remote_loads += int(round(read_loads * remote_ro / n_reads))
         return out
 
-    def _fault_reads(self, vma: VMA, idx: np.ndarray) -> AccessOutcome:
-        out = AccessOutcome()
+    def _fault_reads(self, vma: VMA, idx: np.ndarray,
+                     out: AccessOutcome) -> int:
         states = vma.state[idx]
+        counts = np.bincount(states, minlength=4)
 
-        none_mask = states == PTE_NONE
         # Demand-zero read: shared zero page, minor fault, no allocation.
-        out.minor_faults += int(np.count_nonzero(none_mask))
+        out.minor_faults += int(counts[PTE_NONE])
 
-        invalid_mask = states == PTE_REMOTE_INVALID
-        n_fetch = int(np.count_nonzero(invalid_mask))
+        n_fetch = int(counts[PTE_REMOTE_INVALID])
         if n_fetch:
             # Major fault per page: fetch from the pool into a private
             # local copy (TrEnv's RDMA backend, §5.1).
             out.major_faults += n_fetch
             out.pages_fetched += n_fetch
-            pool_name = vma.pool.name if vma.pool else "unknown"
-            out.fetch_pools[pool_name] = (
-                out.fetch_pools.get(pool_name, 0) + n_fetch)
-            vma.state[idx[invalid_mask]] = PTE_LOCAL
+            out.fetch_pools[vma.pool.name if vma.pool else "unknown"] += n_fetch
+            vma.state[idx[states == PTE_REMOTE_INVALID]] = PTE_LOCAL
             out.local_pages_allocated += n_fetch
             self._charge(n_fetch)
         # PTE_REMOTE_RO reads: zero software cost (valid PTE, direct load).
         # PTE_LOCAL reads: free.
-        return out
+        if vma.pool is not None and vma.pool.byte_addressable:
+            return int(counts[PTE_REMOTE_RO])
+        return 0
 
-    def _fault_writes(self, vma: VMA, idx: np.ndarray) -> AccessOutcome:
-        out = AccessOutcome()
+    def _fault_writes(self, vma: VMA, idx: np.ndarray,
+                      out: AccessOutcome) -> None:
         if not vma.writable:
             raise PermissionError(
                 f"write to read-only VMA {vma.name!r} in {self.name}")
         states = vma.state[idx]
+        counts = np.bincount(states, minlength=4)
 
-        none_mask = states == PTE_NONE
-        n_zero = int(np.count_nonzero(none_mask))
-        if n_zero:
-            out.minor_faults += n_zero
-            vma.state[idx[none_mask]] = PTE_LOCAL
-            out.local_pages_allocated += n_zero
-            self._charge(n_zero)
+        n_zero = int(counts[PTE_NONE])
+        n_cow = int(counts[PTE_REMOTE_RO])
+        n_fetch = int(counts[PTE_REMOTE_INVALID])
 
-        ro_mask = states == PTE_REMOTE_RO
-        n_cow = int(np.count_nonzero(ro_mask))
-        if n_cow:
-            # Write-protect fault: copy the shared pool page to local DRAM
-            # (CoW preserves the single shared copy, §5.1).
-            out.cow_faults += n_cow
-            vma.state[idx[ro_mask]] = PTE_LOCAL
-            out.local_pages_allocated += n_cow
-            self._charge(n_cow)
-
-        invalid_mask = states == PTE_REMOTE_INVALID
-        n_fetch = int(np.count_nonzero(invalid_mask))
+        out.minor_faults += n_zero
+        # Write-protect fault: copy the shared pool page to local DRAM
+        # (CoW preserves the single shared copy, §5.1); invalid PTEs also
+        # pay the fetch before the private copy materialises.
+        out.cow_faults += n_cow + n_fetch
         if n_fetch:
             out.major_faults += n_fetch
             out.pages_fetched += n_fetch
-            out.cow_faults += n_fetch
-            pool_name = vma.pool.name if vma.pool else "unknown"
-            out.fetch_pools[pool_name] = (
-                out.fetch_pools.get(pool_name, 0) + n_fetch)
-            vma.state[idx[invalid_mask]] = PTE_LOCAL
-            out.local_pages_allocated += n_fetch
-            self._charge(n_fetch)
-        return out
+            out.fetch_pools[vma.pool.name if vma.pool else "unknown"] += n_fetch
 
-    def _count_remote_loads(self, read_pages: np.ndarray, read_loads: int) -> int:
-        """Apportion load count to reads still resident on a remote pool."""
-        if len(read_pages) == 0:
-            return 0
-        remote = 0
-        for vma_idx, idx in self._split(read_pages):
-            vma = self.vmas[vma_idx]
-            if vma.pool is not None and vma.pool.byte_addressable:
-                remote += int(np.count_nonzero(vma.state[idx] == PTE_REMOTE_RO))
-        return int(round(read_loads * remote / len(read_pages)))
+        n_alloc = n_zero + n_cow + n_fetch
+        if n_alloc:
+            # Every non-LOCAL state ends LOCAL: one scatter, one charge.
+            vma.state[idx[states != PTE_LOCAL]] = PTE_LOCAL
+            out.local_pages_allocated += n_alloc
+            self._charge(n_alloc)
 
     # -- snapshotting helpers ---------------------------------------------------------
 
@@ -317,16 +359,15 @@ class AddressSpace:
         counts: Dict[int, int] = {PTE_NONE: 0, PTE_LOCAL: 0,
                                   PTE_REMOTE_RO: 0, PTE_REMOTE_INVALID: 0}
         for vma in self.vmas:
-            values, freq = np.unique(vma.state, return_counts=True)
-            for v, f in zip(values, freq):
-                counts[int(v)] += int(f)
+            for value in counts:
+                counts[value] += count_equal(vma.state, value)
         return counts
 
     def content_image(self) -> np.ndarray:
         """Concatenated content ids of every page (snapshot order)."""
         if not self.vmas:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate([v.content for v in self.vmas])
+        return np.concatenate([np.asarray(v.content) for v in self.vmas])
 
     def destroy(self) -> int:
         """Release all local pages; returns how many were freed."""
@@ -346,21 +387,24 @@ class AddressSpace:
             self._cum = np.concatenate([[0], np.cumsum(sizes)])
         return self._cum
 
-    def _split(self, flat_pages: np.ndarray) -> List[Tuple[int, np.ndarray]]:
-        """Group flat page indices by VMA, returning local indices."""
-        flat_pages = np.asarray(flat_pages, dtype=np.int64)
-        if len(flat_pages) == 0:
-            return []
+    def _iter_vma_runs(self, flat_pages
+                       ) -> Iterator[Tuple[VMA, np.ndarray]]:
+        """Yield ``(vma, local_indices)`` runs of sorted flat indices."""
+        flat = np.asarray(flat_pages, dtype=np.int64)
+        n = len(flat)
+        if n == 0:
+            return
+        if n > 1 and (np.diff(flat) < 0).any():
+            flat = np.sort(flat, kind="stable")
         cum = self.flatten()
-        total = cum[-1]
-        if (flat_pages < 0).any() or (flat_pages >= total).any():
+        if flat[0] < 0 or flat[-1] >= cum[-1]:
             raise IndexError("page index out of range for address space")
-        vma_of = np.searchsorted(cum, flat_pages, side="right") - 1
-        out: List[Tuple[int, np.ndarray]] = []
-        for vma_idx in np.unique(vma_of):
-            mask = vma_of == vma_idx
-            out.append((int(vma_idx), flat_pages[mask] - cum[vma_idx]))
-        return out
+        bounds = np.searchsorted(flat, cum)
+        for vma_idx in range(len(self.vmas)):
+            lo, hi = int(bounds[vma_idx]), int(bounds[vma_idx + 1])
+            if lo == hi:
+                continue
+            yield self.vmas[vma_idx], flat[lo:hi] - cum[vma_idx]
 
     def _charge(self, delta_pages: int) -> None:
         if delta_pages == 0:

@@ -1,0 +1,285 @@
+"""Copy-on-write page-state arrays with chunked lazy materialization.
+
+TrEnv's headline property is that ``mmt_attach`` copies *metadata only*,
+so attach cost is (nearly) independent of image size (§5.1, Figure 11).
+The reproduction's per-page VMA state lives in numpy arrays; deep-copying
+them per attach made warm starts O(image) in *host* wall-clock — ~5 MB of
+array copies for the 855 MB IR image — even though the simulated cost was
+already metadata-only.
+
+:class:`CowPageArray` restores the paper's asymptotics host-side: a clone
+shares the template's (frozen) array and materialises private state in
+fixed-size chunks only when written, exactly like the kernel's CoW page
+tables.  Reads gather through the shared base with materialised chunks
+overlaid; once most chunks are private the array collapses to a dense
+copy so steady-state instances pay plain ndarray speed.
+
+The class implements just enough of the ndarray protocol for the fault
+path (`arr[idx]`, `arr[idx] = v`, `arr[:] = v`, `==`, ``np.asarray``) to
+stay transparent to existing callers and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Pages per CoW chunk (a 16 MiB run of simulated memory; a 4 KiB private
+#: uint8 chunk host-side).  Power of two so chunk ids are a shift.
+CHUNK_PAGES = 4096
+_SHIFT = 12
+_MASK = CHUNK_PAGES - 1
+
+#: Collapse to a dense private array once this fraction of chunks has
+#: materialised — past that point the overlay bookkeeping costs more than
+#: it saves.
+_COLLAPSE_FRACTION = 0.5
+
+
+class TemplateBase:
+    """A frozen template array shared by any number of CoW clones.
+
+    Freezing (``writeable=False``) turns accidental writes to shared
+    template state into a hard error — the analogue of the kernel
+    write-protecting template page tables.  Count queries are cached so
+    per-attach accounting (e.g. resident-page charging) is O(1) instead
+    of O(pages).
+    """
+
+    __slots__ = ("array", "_counts", "_chunk_counts")
+
+    def __init__(self, array: np.ndarray):
+        array.setflags(write=False)
+        self.array = array
+        self._counts: Dict[int, int] = {}
+        self._chunk_counts: Dict[tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def count(self, value) -> int:
+        key = int(value)
+        hit = self._counts.get(key)
+        if hit is None:
+            hit = int(np.count_nonzero(self.array == value))
+            self._counts[key] = hit
+        return hit
+
+    def count_chunk(self, cid: int, value) -> int:
+        key = (cid, int(value))
+        hit = self._chunk_counts.get(key)
+        if hit is None:
+            lo = cid << _SHIFT
+            sl = self.array[lo:lo + CHUNK_PAGES]
+            hit = int(np.count_nonzero(sl == value))
+            self._chunk_counts[key] = hit
+        return hit
+
+
+class CowPageArray:
+    """A lazily-materialising copy-on-write view of a :class:`TemplateBase`."""
+
+    __slots__ = ("_base", "_chunks", "_dense")
+
+    def __init__(self, base: TemplateBase):
+        self._base: Optional[TemplateBase] = base
+        self._chunks: Dict[int, np.ndarray] = {}
+        self._dense: Optional[np.ndarray] = None
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def dtype(self):
+        if self._dense is not None:
+            return self._dense.dtype
+        return self._base.array.dtype
+
+    @property
+    def materialized_chunks(self) -> int:
+        """Private chunks held (0 right after a clone); -1 once dense."""
+        if self._dense is not None:
+            return -1
+        return len(self._chunks)
+
+    @property
+    def private_nbytes(self) -> int:
+        """Host bytes of private (non-shared) storage."""
+        if self._dense is not None:
+            return self._dense.nbytes
+        return sum(c.nbytes for c in self._chunks.values())
+
+    def __len__(self) -> int:
+        if self._dense is not None:
+            return len(self._dense)
+        return len(self._base.array)
+
+    # -- materialization ---------------------------------------------------------
+
+    def _chunk(self, cid: int) -> np.ndarray:
+        chunk = self._chunks.get(cid)
+        if chunk is None:
+            lo = cid << _SHIFT
+            chunk = self._base.array[lo:lo + CHUNK_PAGES].copy()
+            self._chunks[cid] = chunk
+        return chunk
+
+    def to_ndarray(self) -> np.ndarray:
+        """A fresh dense copy (callers may mutate it freely)."""
+        if self._dense is not None:
+            return self._dense.copy()
+        out = self._base.array.copy()
+        for cid, chunk in self._chunks.items():
+            lo = cid << _SHIFT
+            out[lo:lo + len(chunk)] = chunk
+        return out
+
+    def _collapse(self) -> None:
+        dense = self._base.array.copy()
+        for cid, chunk in self._chunks.items():
+            lo = cid << _SHIFT
+            dense[lo:lo + len(chunk)] = chunk
+        self._dense = dense
+        self._base = None
+        self._chunks = {}
+
+    def _maybe_collapse(self) -> None:
+        # Single-chunk arrays (most VMAs are under CHUNK_PAGES) go dense
+        # on their first write: one materialised chunk IS the array, and
+        # staying chunked would tax every later gather with overlay work.
+        n_chunks = (len(self._base.array) + _MASK) >> _SHIFT
+        if len(self._chunks) >= max(1.0, n_chunks * _COLLAPSE_FRACTION):
+            self._collapse()
+
+    # -- ndarray protocol (the subset the fault path and tests use) ---------------
+
+    def __array__(self, dtype=None, copy=None):
+        out = self.to_ndarray()
+        if dtype is not None and out.dtype != dtype:
+            out = out.astype(dtype)
+        return out
+
+    def __getitem__(self, key):
+        if self._dense is not None:
+            return self._dense[key]
+        if isinstance(key, (int, np.integer)):
+            cid = int(key) >> _SHIFT
+            chunk = self._chunks.get(cid)
+            if chunk is not None:
+                return chunk[int(key) & _MASK]
+            return self._base.array[key]
+        if isinstance(key, slice):
+            return self.to_ndarray()[key]
+        idx = np.asarray(key)
+        if idx.dtype == bool:
+            idx = np.nonzero(idx)[0]
+        out = self._base.array[idx]
+        if self._chunks and len(idx):
+            # Overlay by iterating the (few, pre-collapse) materialised
+            # chunks — no hashing/unique pass over the indices.
+            cids = idx >> _SHIFT
+            for cid, chunk in self._chunks.items():
+                m = cids == cid
+                if m.any():
+                    out[m] = chunk[idx[m] & _MASK]
+        return out
+
+    def __setitem__(self, key, value) -> None:
+        if self._dense is not None:
+            self._dense[key] = value
+            return
+        if isinstance(key, slice):
+            if key == slice(None):
+                # Full overwrite: drop the shared base entirely.
+                base = self._base.array
+                if np.isscalar(value):
+                    self._dense = np.full(len(base), value, dtype=base.dtype)
+                else:
+                    value = np.asarray(value, dtype=base.dtype)
+                    if len(value) != len(base):
+                        raise ValueError(
+                            f"length mismatch: {len(value)} != {len(base)}")
+                    self._dense = value.copy()
+                self._base = None
+                self._chunks = {}
+                return
+            self._collapse()
+            self._dense[key] = value
+            return
+        if isinstance(key, (int, np.integer)):
+            self._chunk(int(key) >> _SHIFT)[int(key) & _MASK] = value
+            self._maybe_collapse()
+            return
+        idx = np.asarray(key)
+        if idx.dtype == bool:
+            idx = np.nonzero(idx)[0]
+        if len(idx) == 0:
+            return
+        scalar = np.isscalar(value)
+        if not scalar:
+            value = np.asarray(value)
+        cids = idx >> _SHIFT
+        touched = set(cids.tolist())
+        n_chunks = (len(self._base.array) + _MASK) >> _SHIFT
+        after = len(touched | self._chunks.keys())
+        if after >= max(1.0, n_chunks * _COLLAPSE_FRACTION):
+            # The write alone crosses the collapse threshold: densify
+            # first and scatter once, skipping per-chunk materialisation.
+            self._collapse()
+            self._dense[idx] = value
+            return
+        for cid in sorted(touched):
+            m = cids == cid
+            chunk = self._chunk(cid)
+            if scalar:
+                chunk[idx[m] & _MASK] = value
+            else:
+                chunk[idx[m] & _MASK] = value[m]
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self.to_ndarray() == other
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self.to_ndarray() != other
+
+    __hash__ = None  # array-like equality semantics => unhashable
+
+    # -- fast queries --------------------------------------------------------------
+
+    def count(self, value) -> int:
+        """``count_nonzero(self == value)`` in O(materialized chunks)."""
+        if self._dense is not None:
+            return int(np.count_nonzero(self._dense == value))
+        total = self._base.count(value)
+        for cid, chunk in self._chunks.items():
+            total += int(np.count_nonzero(chunk == value))
+            total -= self._base.count_chunk(cid, value)
+        return total
+
+    def copy(self) -> "CowPageArray":
+        out = CowPageArray.__new__(CowPageArray)
+        if self._dense is not None:
+            out._base = None
+            out._chunks = {}
+            out._dense = self._dense.copy()
+        else:
+            out._base = self._base
+            out._chunks = {cid: c.copy() for cid, c in self._chunks.items()}
+            out._dense = None
+        return out
+
+
+# -- helpers for code that handles both ndarray and CowPageArray ------------------
+
+def count_equal(arr, value) -> int:
+    """Vector-count of ``arr == value`` using the cheapest available path."""
+    if isinstance(arr, CowPageArray):
+        return arr.count(value)
+    return int(np.count_nonzero(arr == value))
+
+
+def as_dense(arr) -> np.ndarray:
+    """A plain ndarray view/copy of ``arr`` (dense copy for CoW arrays)."""
+    if isinstance(arr, CowPageArray):
+        return arr.to_ndarray()
+    return arr

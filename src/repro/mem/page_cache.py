@@ -25,7 +25,10 @@ class PageCache:
     def __init__(self, name: str = "",
                  on_delta: Optional[Callable[[int], None]] = None):
         self.name = name
-        self._blocks: Set[Tuple[int, int]] = set()
+        # Per-file block sets: charge/evict are C-speed set operations on
+        # the one file touched instead of Python loops over every cached
+        # (file, block) pair in the node.
+        self._files: Dict[int, Set[int]] = {}
         self.on_delta = on_delta
         self.hits = 0
         self.misses = 0
@@ -34,43 +37,43 @@ class PageCache:
         """Cache a file range; returns pages newly inserted (misses)."""
         first = offset // PAGE_SIZE
         count = pages_for_bytes(nbytes)
-        fresh = 0
-        for block in range(first, first + count):
-            key = (file_id, block)
-            if key in self._blocks:
-                self.hits += 1
-            else:
-                self._blocks.add(key)
-                self.misses += 1
-                fresh += 1
+        wanted = range(first, first + count)
+        cached = self._files.get(file_id)
+        if cached is None:
+            cached = self._files[file_id] = set()
+        fresh_blocks = set(wanted) - cached if cached else set(wanted)
+        fresh = len(fresh_blocks)
+        cached |= fresh_blocks
+        self.hits += count - fresh
+        self.misses += fresh
         if fresh and self.on_delta is not None:
             self.on_delta(fresh)
         return fresh
 
     def evict_file(self, file_id: int) -> int:
         """Drop every cached block of ``file_id``; returns pages freed."""
-        victims = [key for key in self._blocks if key[0] == file_id]
-        for key in victims:
-            self._blocks.remove(key)
-        if victims and self.on_delta is not None:
+        victims = self._files.pop(file_id, None)
+        if not victims:
+            return 0
+        if self.on_delta is not None:
             self.on_delta(-len(victims))
         return len(victims)
 
     def drop_all(self) -> int:
         """``echo 3 > drop_caches``; returns pages freed."""
-        freed = len(self._blocks)
-        self._blocks.clear()
+        freed = self.cached_pages
+        self._files.clear()
         if freed and self.on_delta is not None:
             self.on_delta(-freed)
         return freed
 
     @property
     def cached_pages(self) -> int:
-        return len(self._blocks)
+        return sum(len(blocks) for blocks in self._files.values())
 
     @property
     def cached_bytes(self) -> int:
-        return len(self._blocks) * PAGE_SIZE
+        return self.cached_pages * PAGE_SIZE
 
 
 class FileIdRegistry:

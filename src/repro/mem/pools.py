@@ -353,16 +353,58 @@ class DedupStore:
     Figure 12's duplicated region R2).
 
     The content-id → offset index is a pair of aligned, sorted numpy
-    arrays, so storing a multi-hundred-MB image costs a few vectorised
-    searchsorted/insert passes instead of O(pages) Python dict lookups.
+    arrays plus a small sorted *pending* buffer.  Fresh ids land in the
+    pending buffer (cheap: it stays small) and are merged into the main
+    arrays only when the buffer outgrows a fraction of them, so N stores
+    cost O(N log N) amortised instead of the O(N²) of re-inserting into
+    one ever-growing array per image.
     """
 
     def __init__(self, pool: MemoryPool):
         self.pool = pool
         self._cids = np.empty(0, dtype=np.int64)        # sorted content ids
         self._cid_offsets = np.empty(0, dtype=np.int64)  # aligned offsets
+        self._pend_cids = np.empty(0, dtype=np.int64)    # sorted, small
+        self._pend_offsets = np.empty(0, dtype=np.int64)
         self.total_pages_presented = 0
         self.unique_pages_stored = 0
+
+    def _known_mask(self, sorted_ids: np.ndarray) -> np.ndarray:
+        """Membership of ``sorted_ids`` in main + pending indexes."""
+        known = np.zeros(len(sorted_ids), dtype=bool)
+        for cids in (self._cids, self._pend_cids):
+            if not len(cids):
+                continue
+            pos = np.searchsorted(cids, sorted_ids)
+            in_range = pos < len(cids)
+            known[in_range] |= cids[pos[in_range]] == sorted_ids[in_range]
+        return known
+
+    def _lookup(self, content_ids: np.ndarray) -> np.ndarray:
+        """Offsets for ids known to be present (main or pending)."""
+        offsets = np.empty(len(content_ids), dtype=np.int64)
+        found = np.zeros(len(content_ids), dtype=bool)
+        for cids, offs in ((self._cids, self._cid_offsets),
+                           (self._pend_cids, self._pend_offsets)):
+            if not len(cids):
+                continue
+            pos = np.searchsorted(cids, content_ids)
+            in_range = pos < len(cids)
+            hit = np.zeros(len(content_ids), dtype=bool)
+            hit[in_range] = cids[pos[in_range]] == content_ids[in_range]
+            offsets[hit] = offs[pos[hit]]
+            found |= hit
+        if not found.all():
+            raise KeyError("content id missing from dedup index")
+        return offsets
+
+    def _merge_pending(self) -> None:
+        at = np.searchsorted(self._cids, self._pend_cids)
+        self._cids = np.insert(self._cids, at, self._pend_cids)
+        self._cid_offsets = np.insert(self._cid_offsets, at,
+                                      self._pend_offsets)
+        self._pend_cids = np.empty(0, dtype=np.int64)
+        self._pend_offsets = np.empty(0, dtype=np.int64)
 
     def store_image(self, content_ids: np.ndarray,
                     hot_mask: Optional[np.ndarray] = None) -> PoolBlock:
@@ -375,10 +417,7 @@ class DedupStore:
         content_ids = np.asarray(content_ids, dtype=np.int64)
         self.total_pages_presented += len(content_ids)
         unique, first_idx = np.unique(content_ids, return_index=True)
-        pos = np.searchsorted(self._cids, unique)
-        known = np.zeros(len(unique), dtype=bool)
-        in_range = pos < len(self._cids)
-        known[in_range] = self._cids[pos[in_range]] == unique[in_range]
+        known = self._known_mask(unique)
         missing = unique[~known]
         if len(missing):
             if hot_mask is not None:
@@ -391,14 +430,13 @@ class DedupStore:
                 fresh = self.pool.allocate_pages_masked(mask)
             else:
                 fresh = self.pool.allocate_pages(len(missing))
-            insert_at = np.searchsorted(self._cids, missing)
-            self._cids = np.insert(self._cids, insert_at, missing)
-            self._cid_offsets = np.insert(self._cid_offsets, insert_at,
-                                          fresh)
+            at = np.searchsorted(self._pend_cids, missing)
+            self._pend_cids = np.insert(self._pend_cids, at, missing)
+            self._pend_offsets = np.insert(self._pend_offsets, at, fresh)
             self.unique_pages_stored += len(missing)
-        offsets = self._cid_offsets[
-            np.searchsorted(self._cids, content_ids)]
-        return PoolBlock(pool=self.pool, offsets=offsets)
+            if len(self._pend_cids) * 4 > len(self._cids):
+                self._merge_pending()
+        return PoolBlock(pool=self.pool, offsets=self._lookup(content_ids))
 
     @property
     def dedup_ratio(self) -> float:

@@ -50,10 +50,9 @@ class AccessTrace:
         touched = self.touched_pages
         if touched == 0:
             return 0.0
-        written = len(np.intersect1d(self.write_pages, self.read_pages,
-                                     assume_unique=True))
-        written = max(written, 0)
-        only_read = touched - len(self.write_pages)
+        both = len(np.intersect1d(self.write_pages, self.read_pages,
+                                  assume_unique=True))
+        only_read = len(self.read_pages) - both
         return only_read / touched
 
     @staticmethod

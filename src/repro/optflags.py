@@ -1,0 +1,47 @@
+"""Host-side optimization flags.
+
+Every flag here changes *host* behaviour only — wall-clock time and
+allocations — never simulated results.  The seeded fault counts and
+virtual-clock timings of an experiment must be bit-identical with the
+flags on or off; ``tests/integration/test_golden_determinism.py`` pins
+that invariant and ``benchmarks/perf`` measures the host-side win.
+
+Flags:
+
+* ``cow_attach`` — template attach / CRIU restore share page-state
+  arrays copy-on-write (:mod:`repro.mem.cow`) instead of deep-copying
+  them per attach.
+* ``trace_cache`` — per-(function, invocation) generated access traces
+  are memoised instead of re-drawn from the (stateless, seeded) RNG.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+cow_attach: bool = True
+trace_cache: bool = True
+
+
+@contextmanager
+def optimizations_disabled():
+    """Run a block on the copying / no-cache baseline paths."""
+    global cow_attach, trace_cache
+    saved = (cow_attach, trace_cache)
+    cow_attach = trace_cache = False
+    try:
+        yield
+    finally:
+        cow_attach, trace_cache = saved
+
+
+@contextmanager
+def optimizations_enabled():
+    """Force the optimised paths on (e.g. inside a disabled block)."""
+    global cow_attach, trace_cache
+    saved = (cow_attach, trace_cache)
+    cow_attach = trace_cache = True
+    try:
+        yield
+    finally:
+        cow_attach, trace_cache = saved

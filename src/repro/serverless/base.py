@@ -20,6 +20,7 @@ and retirement (``_retire``).
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import Dict, Generator, List, Optional, Tuple
 
@@ -54,6 +55,8 @@ class Instance:
         self.last_used = 0.0
         self.invocations = 0
         self.retired = False
+        #: Maintained by WarmPool: True while idle in the keep-alive pool.
+        self.parked = False
         #: Set when acquisition had to take a fallback path because the
         #: remote pool was unreachable (see repro.faults).
         self.degraded_start = False
@@ -64,10 +67,23 @@ class Instance:
 
 
 class WarmPool:
-    """Keep-alive pool: per-function stacks with global LRU view."""
+    """Keep-alive pool: per-function stacks with global LRU view.
+
+    The LRU view is a lazy min-heap keyed ``(last_used, fseq, putseq)``:
+    ``fseq`` is the order the function key first entered the pool and
+    ``putseq`` a global park counter, so ties resolve exactly like the
+    old full scan (function registration order, then stack position) —
+    eviction victims, and therefore seeded results, are unchanged.
+    Entries whose instance was taken, removed or re-parked since the push
+    are detected by a stamp mismatch and dropped on the next peek, making
+    ``lru_victim`` amortised O(log n) instead of O(pool size).
+    """
 
     def __init__(self):
         self._by_function: Dict[str, List[Instance]] = {}
+        self._heap: List[Tuple[float, int, int, Instance]] = []
+        self._fseq: Dict[str, int] = {}
+        self._putseq = itertools.count()
         self.hits = 0
         self.misses = 0
 
@@ -85,36 +101,51 @@ class WarmPool:
             self.hits += 1
             inst = stack.pop()
             inst.busy = True
+            inst.parked = False
             return inst
         self.misses += 1
         return None
 
     def put(self, inst: Instance) -> None:
         inst.busy = False
+        inst.parked = True
         self._by_function.setdefault(inst.function, []).append(inst)
+        fseq = self._fseq.get(inst.function)
+        if fseq is None:
+            fseq = self._fseq[inst.function] = len(self._fseq)
+        heapq.heappush(self._heap,
+                       (inst.last_used, fseq, next(self._putseq), inst))
 
     def remove(self, inst: Instance) -> bool:
         stack = self._by_function.get(inst.function, [])
         if inst in stack:
             stack.remove(inst)
+            inst.parked = False
             return True
         return False
 
     def lru_victim(self) -> Optional[Instance]:
         """The least-recently-used idle instance across all functions."""
-        best: Optional[Instance] = None
-        for stack in self._by_function.values():
-            for inst in stack:
-                if best is None or inst.last_used < best.last_used:
-                    best = inst
-        return best
+        heap = self._heap
+        while heap:
+            stamp, _fseq, _putseq, inst = heap[0]
+            if (inst.parked and not inst.retired
+                    and inst.last_used == stamp):
+                return inst
+            heapq.heappop(heap)
+        return None
 
     def idle_instances(self) -> List[Instance]:
         return [i for stack in self._by_function.values() for i in stack]
 
     def clear(self) -> None:
         """Drop every parked instance (node crash: warm state is lost)."""
+        for stack in self._by_function.values():
+            for inst in stack:
+                inst.parked = False
         self._by_function.clear()
+        self._heap.clear()
+        self._fseq.clear()
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._by_function.values())

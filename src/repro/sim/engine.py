@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -54,6 +54,10 @@ class Event:
 
     Triggering delivers ``value`` to every waiter.  Triggering twice is an
     error; use separate events per occurrence.
+
+    Waiters live in an insertion-ordered dict so :meth:`remove_waiter`
+    (the interrupt path) is O(1) while :meth:`trigger` still wakes tasks
+    in the order they started waiting.
     """
 
     __slots__ = ("sim", "triggered", "value", "_waiters")
@@ -62,14 +66,14 @@ class Event:
         self.sim = sim
         self.triggered = False
         self.value: Any = None
-        self._waiters: List["_Task"] = []
+        self._waiters: Dict["_Task", None] = {}
 
     def trigger(self, value: Any = None) -> None:
         if self.triggered:
             raise SimulationError("event triggered twice")
         self.triggered = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
+        waiters, self._waiters = self._waiters, {}
         for task in waiters:
             self.sim._schedule(0.0, task, value)
 
@@ -77,11 +81,10 @@ class Event:
         if self.triggered:
             self.sim._schedule(0.0, task, self.value)
         else:
-            self._waiters.append(task)
+            self._waiters[task] = None
 
     def remove_waiter(self, task: "_Task") -> None:
-        if task in self._waiters:
-            self._waiters.remove(task)
+        self._waiters.pop(task, None)
 
 
 class Waiter:

@@ -19,9 +19,11 @@ Calibration notes:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro import optflags
 from repro.mem.layout import MB, pages_for_bytes
 from repro.mem.trace import AccessTrace
 from repro.sim.rng import SeededRNG
@@ -35,6 +37,15 @@ _FUNC_SPACE = 1 << 44
 #: (seed, rng path, function) -> base AccessTrace.  Traces are immutable
 #: in practice (callers only read them or derive jittered copies).
 _BASE_TRACE_CACHE: Dict[tuple, "AccessTrace"] = {}
+
+#: (seed, rng path, function, invocation, jitter) -> jittered AccessTrace.
+#: :meth:`SeededRNG.fork` is stateless (seed + path hash), so an identical
+#: key always regenerates the identical trace — memoising it only saves
+#: host time.  Bounded LRU: cluster runs revisit the same invocation index
+#: from every node sharing a (seed, path) pair.  Gated on
+#: :data:`repro.optflags.trace_cache`.
+_INV_TRACE_CACHE: "OrderedDict[tuple, AccessTrace]" = OrderedDict()
+_INV_TRACE_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -108,8 +119,20 @@ class FunctionProfile:
         base = self.base_trace(rng)
         if jitter == 0.0:
             return base
+        if not optflags.trace_cache:
+            sub = rng.fork(f"{self.name}/inv{invocation}")
+            return base.jittered(sub, self.image_pages, jitter)
+        key = (rng.seed, rng.path, self.name, invocation, jitter)
+        hit = _INV_TRACE_CACHE.get(key)
+        if hit is not None:
+            _INV_TRACE_CACHE.move_to_end(key)
+            return hit
         sub = rng.fork(f"{self.name}/inv{invocation}")
-        return base.jittered(sub, self.image_pages, jitter)
+        trace = base.jittered(sub, self.image_pages, jitter)
+        _INV_TRACE_CACHE[key] = trace
+        if len(_INV_TRACE_CACHE) > _INV_TRACE_CACHE_MAX:
+            _INV_TRACE_CACHE.popitem(last=False)
+        return trace
 
     def content_ids(self):
         """Per-page content ids of the snapshot image.

@@ -1,0 +1,43 @@
+"""Golden determinism: the perf optimizations never change results.
+
+The CoW attach path, trace cache, fused fault handling, heap-based LRU
+and the rest of the hot-path work are *host-side* optimizations: for a
+fixed seed they must produce bit-identical invocation streams and memory
+peaks, with only wall-clock and allocations allowed to differ.  This is
+the regression gate for that contract — a fig17-style W2 slice run with
+optimizations on and off (``optflags.optimizations_disabled()``),
+compared field by field.
+"""
+
+import pytest
+
+from repro import optflags
+from repro.bench.harness import run_platform_workload
+from repro.mem.layout import GB
+from repro.workloads.synthetic import make_w2_diurnal
+
+
+def run_w2_slice(platform, seed=1, duration=150.0):
+    wl = make_w2_diurnal(seed=seed, duration=duration, mean_rate=1.6,
+                         soft_cap_bytes=5 * GB)
+    result = run_platform_workload(platform, wl, seed=seed)
+    stream = [(r.function, r.arrival, r.start_kind, r.startup, r.exec,
+               r.e2e, r.queue, r.retries, r.degraded)
+              for r in result.recorder.results]
+    return stream, result.peak_memory_bytes
+
+
+@pytest.mark.parametrize("platform", ["t-cxl", "t-rdma", "criu"])
+def test_optimizations_are_bit_identical(platform):
+    optimized = run_w2_slice(platform)
+    with optflags.optimizations_disabled():
+        baseline = run_w2_slice(platform)
+    assert optimized[0], "W2 slice produced no invocations"
+    assert optimized == baseline
+
+
+def test_flags_restored_after_context():
+    assert optflags.cow_attach and optflags.trace_cache
+    with optflags.optimizations_disabled():
+        assert not optflags.cow_attach and not optflags.trace_cache
+    assert optflags.cow_attach and optflags.trace_cache

@@ -1,0 +1,144 @@
+"""Unit tests for the copy-on-write page-array module (repro.mem.cow)."""
+
+import numpy as np
+import pytest
+
+from repro.mem.cow import (CHUNK_PAGES, CowPageArray, TemplateBase,
+                           as_dense, count_equal)
+
+
+def make_pair(n=3 * CHUNK_PAGES + 100, dtype=np.int64):
+    dense = np.arange(n, dtype=dtype)
+    base = TemplateBase(dense.copy())
+    return base, CowPageArray(base)
+
+
+class TestTemplateBase:
+    def test_freezes_array(self):
+        base, _ = make_pair()
+        with pytest.raises(ValueError):
+            base.array[0] = 99
+
+    def test_count_is_cached_and_correct(self):
+        arr = np.array([0, 1, 1, 2, 1], dtype=np.uint8)
+        base = TemplateBase(arr)
+        assert base.count(1) == 3
+        assert base.count(1) == 3   # cached path
+        assert base.count(7) == 0
+
+
+class TestCloneSharing:
+    def test_clone_holds_no_private_storage(self):
+        _, cow = make_pair()
+        assert cow.materialized_chunks == 0
+        assert cow.private_nbytes == 0
+
+    def test_reads_pass_through_to_base(self):
+        base, cow = make_pair()
+        assert cow[5] == 5
+        idx = np.array([0, CHUNK_PAGES, 2 * CHUNK_PAGES + 7])
+        np.testing.assert_array_equal(cow[idx], base.array[idx])
+        np.testing.assert_array_equal(np.asarray(cow), base.array)
+
+    def test_bool_mask_gather(self):
+        base, cow = make_pair(n=10)
+        mask = np.zeros(10, dtype=bool)
+        mask[[2, 5]] = True
+        np.testing.assert_array_equal(cow[mask], base.array[mask])
+
+
+class TestCopyOnWrite:
+    def test_write_does_not_touch_base(self):
+        base, cow = make_pair()
+        snapshot = base.array.copy()
+        cow[np.array([0, CHUNK_PAGES + 1])] = -5
+        np.testing.assert_array_equal(base.array, snapshot)
+        assert cow[0] == -5
+        assert cow[CHUNK_PAGES + 1] == -5
+        assert cow[1] == 1   # untouched page still reads through
+
+    def test_private_bytes_scale_with_chunks_touched_not_size(self):
+        _, cow = make_pair(n=64 * CHUNK_PAGES)
+        cow[np.array([3])] = -1          # one page => one chunk
+        assert cow.materialized_chunks == 1
+        assert cow.private_nbytes <= CHUNK_PAGES * cow.dtype.itemsize
+
+    def test_overlay_gather_mixes_private_and_shared(self):
+        base, cow = make_pair(n=64 * CHUNK_PAGES)
+        cow[np.array([3, CHUNK_PAGES + 1])] = -1
+        assert cow.materialized_chunks == 2   # overlay, not collapsed
+        idx = np.array([3, 4, CHUNK_PAGES + 1, 5 * CHUNK_PAGES])
+        np.testing.assert_array_equal(
+            cow[idx], np.array([-1, 4, -1, 5 * CHUNK_PAGES]))
+        assert cow[3] == -1
+        assert cow[4] == 4
+
+    def test_overlay_scatter_with_array_value(self):
+        _, cow = make_pair(n=64 * CHUNK_PAGES)
+        idx = np.array([1, CHUNK_PAGES + 2])
+        cow[idx] = np.array([-1, -2])
+        assert cow.materialized_chunks == 2
+        assert cow[1] == -1 and cow[CHUNK_PAGES + 2] == -2
+        assert cow.count(-1) == 1 and cow.count(-2) == 1
+
+    def test_single_chunk_array_goes_dense_on_first_write(self):
+        dense = np.zeros(100, dtype=np.uint8)
+        cow = CowPageArray(TemplateBase(dense))
+        cow[3] = 1
+        assert cow.materialized_chunks == -1   # dense
+        assert cow[3] == 1 and cow[0] == 0
+
+    def test_collapse_when_most_chunks_materialized(self):
+        _, cow = make_pair(n=4 * CHUNK_PAGES)
+        cow[np.arange(0, 2 * CHUNK_PAGES)] = -1   # half the chunks
+        assert cow.materialized_chunks == -1
+        assert cow[0] == -1
+        assert cow[3 * CHUNK_PAGES] == 3 * CHUNK_PAGES
+
+    def test_full_slice_overwrite_drops_base(self):
+        _, cow = make_pair(n=2 * CHUNK_PAGES)
+        cow[:] = 7
+        assert cow.materialized_chunks == -1
+        assert count_equal(cow, 7) == 2 * CHUNK_PAGES
+
+    def test_scatter_with_array_value(self):
+        _, cow = make_pair(n=2 * CHUNK_PAGES)
+        idx = np.array([1, CHUNK_PAGES + 2])
+        cow[idx] = np.array([-1, -2])
+        assert cow[1] == -1 and cow[CHUNK_PAGES + 2] == -2
+
+
+class TestQueries:
+    def test_count_tracks_writes(self):
+        dense = np.zeros(2 * CHUNK_PAGES, dtype=np.uint8)
+        cow = CowPageArray(TemplateBase(dense))
+        assert cow.count(0) == 2 * CHUNK_PAGES
+        cow[np.array([0, 1, CHUNK_PAGES])] = 1
+        assert cow.count(1) == 3
+        assert cow.count(0) == 2 * CHUNK_PAGES - 3
+
+    def test_equality_protocol(self):
+        _, cow = make_pair(n=10)
+        assert int(np.count_nonzero(cow == 5)) == 1
+        assert int(np.count_nonzero(cow != 5)) == 9
+
+    def test_copy_is_independent(self):
+        _, cow = make_pair(n=2 * CHUNK_PAGES)
+        cow[np.array([0])] = -1
+        dup = cow.copy()
+        dup[np.array([1])] = -2
+        assert cow[1] == 1
+        assert dup[0] == -1
+
+    def test_helpers_accept_plain_ndarray(self):
+        arr = np.array([1, 1, 2])
+        assert count_equal(arr, 1) == 2
+        assert as_dense(arr) is arr
+
+    def test_to_ndarray_merges_overlay(self):
+        base, cow = make_pair(n=2 * CHUNK_PAGES)
+        cow[np.array([CHUNK_PAGES])] = -9
+        out = cow.to_ndarray()
+        assert out[CHUNK_PAGES] == -9
+        np.testing.assert_array_equal(out[:CHUNK_PAGES],
+                                      base.array[:CHUNK_PAGES])
