@@ -168,9 +168,7 @@ class AgentPlatform:
                                               self.browsers)
         e2e = node.now - t1
 
-        if ept.local_pages:
-            node.memory.charge_pages("vm-guest-anon", -ept.local_pages)
-            ept.local_pages = 0
+        ept.release_local()  # on_local_delta hook uncharges node.memory
         yield self._teardown(vm)
         self.sessions += 1
         result = AgentResult(agent=spec.name, startup=startup, e2e=e2e,

@@ -1,0 +1,27 @@
+"""Correctness tooling for the simulator: static lint + runtime sanitizer.
+
+Two cooperating layers keep the reproduction's numbers trustworthy:
+
+* :mod:`repro.analysis.simlint` — an AST-based static-analysis pass
+  (``python -m repro.cli lint``) whose rules ban the constructs that
+  silently break determinism or bypass accounting: wall-clock time and
+  unseeded RNGs outside the bench harness, iteration over unordered
+  ``set`` views in scheduling/eviction/dispatch paths, direct mutation
+  of frame/charge state behind the accounting APIs, and optimization
+  flags whose fast/slow path pair no test exercises.
+
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime invariant checker
+  (the kmemleak/KASAN analog) that hooks pool allocation, PTE
+  transitions, and cgroup/accountant charge paths to assert, at
+  configurable barriers and at teardown: frame refcount balance, no
+  write to a write-protected template page without a CoW fault, charge
+  conservation, tiered-pool capacity conservation, page-cache balance,
+  and event-queue time monotonicity.
+
+This ``__init__`` stays import-light on purpose: instrumented hot
+modules (:mod:`repro.mem.pools`, :mod:`repro.sim.engine`, ...) import
+only :mod:`repro.analysis.hooks`, which has no dependencies, so the
+disabled-sanitizer cost is a single ``is None`` check per hook site.
+
+See ``docs/analysis.md`` for the rule and invariant catalogue.
+"""

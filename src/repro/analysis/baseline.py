@@ -1,0 +1,109 @@
+"""Violation baselining (the lint allowlist).
+
+A baseline entry acknowledges one existing violation so ``lint`` can
+gate *new* problems without forcing an immediate fix of old ones.
+Fingerprints are ``rule-id + path + hash(stripped source line)`` — no
+line numbers — so unrelated edits that shift a file do not invalidate
+the baseline, while editing the offending line itself does.
+
+File format (one entry per line, ``#`` comments allowed)::
+
+    SIM001 src/repro/legacy.py 1a2b3c4d5e6f  # time.time() in old path
+
+An entry suppresses every violation in that file sharing the same rule
+and source text (duplicates collapse — acceptable for an allowlist).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.rules import Violation
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule_id: str
+    relpath: str
+    digest: str
+
+    def format(self, comment: str = "") -> str:
+        line = f"{self.rule_id} {self.relpath} {self.digest}"
+        if comment:
+            line += f"  # {comment}"
+        return line
+
+
+def fingerprint(rule_id: str, relpath: str, source_line: str
+                ) -> BaselineEntry:
+    digest = hashlib.sha1(
+        source_line.strip().encode("utf-8")).hexdigest()[:12]
+    return BaselineEntry(rule_id=rule_id, relpath=relpath, digest=digest)
+
+
+def fingerprint_violation(violation: "Violation") -> BaselineEntry:
+    return fingerprint(violation.rule_id, violation.relpath,
+                       violation.snippet)
+
+
+class Baseline:
+    """A set of acknowledged violations, loadable/savable as text."""
+
+    HEADER = (
+        "# simlint baseline — acknowledged violations.\n"
+        "# Regenerate with: python -m repro.cli lint --write-baseline\n"
+        "# Every entry must carry a trailing justification comment.\n")
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self._entries: Set[Tuple[str, str, str]] = {
+            (e.rule_id, e.relpath, e.digest) for e in entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry: BaselineEntry) -> bool:
+        return (entry.rule_id, entry.relpath, entry.digest) in self._entries
+
+    def suppresses(self, violation: "Violation") -> bool:
+        return fingerprint_violation(violation) in self
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        entries: List[BaselineEntry] = []
+        for lineno, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed baseline entry {raw!r}")
+            entries.append(BaselineEntry(*parts))
+        return cls(entries)
+
+    def save(self, path: Path,
+             violations: Iterable["Violation"] = ()) -> None:
+        """Write ``violations`` (plus existing entries) as the baseline."""
+        entries = {(e[0], e[1], e[2]) for e in self._entries}
+        comments = {}
+        for violation in violations:
+            entry = fingerprint_violation(violation)
+            entries.add((entry.rule_id, entry.relpath, entry.digest))
+            comments[(entry.rule_id, entry.relpath, entry.digest)] = (
+                violation.snippet[:60])
+        lines = [self.HEADER.rstrip("\n")]
+        for rule_id, relpath, digest in sorted(entries):
+            entry = BaselineEntry(rule_id, relpath, digest)
+            lines.append(entry.format(
+                comments.get((rule_id, relpath, digest), "")))
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+        self._entries = entries

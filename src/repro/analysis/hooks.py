@@ -1,0 +1,38 @@
+"""Sanitizer hook registry — deliberately dependency-free.
+
+Instrumented modules (pools, address spaces, accounting, cgroups, the
+event engine) import this module and guard every hook call with::
+
+    if hooks.active is not None:
+        hooks.active.on_something(...)
+
+``active`` is ``None`` unless a :class:`repro.analysis.sanitizer.Sanitizer`
+is installed, so the disabled path costs one global load and an ``is``
+check — host-side only, never simulated time.  Keeping this module free
+of imports avoids cycles: ``repro.mem`` and ``repro.sim`` may import it
+without pulling in the sanitizer (which itself imports them).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sanitizer import Sanitizer
+
+#: The currently installed sanitizer, or None (the common case).
+active: Optional["Sanitizer"] = None
+
+
+def install(sanitizer: "Sanitizer") -> Optional["Sanitizer"]:
+    """Install ``sanitizer`` as the active one; returns the previous."""
+    global active
+    previous = active
+    active = sanitizer
+    return previous
+
+
+def uninstall(previous: Optional["Sanitizer"] = None) -> None:
+    """Remove the active sanitizer, restoring ``previous`` (if any)."""
+    global active
+    active = previous

@@ -1,0 +1,188 @@
+"""The simlint driver: collect files, run rules, apply the baseline.
+
+Entry points::
+
+    python -m repro.cli lint                      # lint configured paths
+    python -m repro.cli lint src/repro tests/foo  # explicit targets
+    python -m repro.cli lint --write-baseline     # acknowledge current hits
+    python -m repro.cli lint --list-rules         # rule catalogue
+
+Exit status: 0 when every violation is baselined (or none exist),
+1 when new violations are found, 2 on usage/config errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import SimlintConfig, load_config
+from repro.analysis.rules import ParsedModule, Rule, Violation, all_rules
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+
+def iter_python_files(root: Path, targets: Sequence[str]) -> List[Path]:
+    """Resolve lint targets (files or directories) to sorted .py files."""
+    files: List[Path] = []
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"lint target not found: {target}")
+    seen: Dict[Path, None] = {}
+    for path in files:
+        seen.setdefault(path.resolve(), None)
+    return list(seen)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_modules(files: Iterable[Path], root: Path, config: SimlintConfig,
+                   report: LintReport) -> Dict[str, ParsedModule]:
+    modules: Dict[str, ParsedModule] = {}
+    for path in files:
+        relpath = _relpath(path, root)
+        if config.path_excluded(relpath):
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{relpath}: syntax error: {exc}")
+            continue
+        except OSError as exc:
+            report.parse_errors.append(f"{relpath}: unreadable: {exc}")
+            continue
+        modules[relpath] = ParsedModule(relpath=relpath, tree=tree,
+                                        lines=source.splitlines())
+        report.files_checked += 1
+    return modules
+
+
+def run_lint(root: Path, targets: Optional[Sequence[str]] = None,
+             config: Optional[SimlintConfig] = None,
+             baseline: Optional[Baseline] = None,
+             rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint ``targets`` under ``root``; returns the full report."""
+    root = Path(root).resolve()
+    config = config if config is not None else load_config(root)
+    if baseline is None:
+        baseline = Baseline.load(config.baseline_path)
+    report = LintReport()
+    files = iter_python_files(root, targets or config.paths)
+    modules = _parse_modules(files, root, config, report)
+    active = [rule for rule in (rules if rules is not None else all_rules())
+              if config.rule_enabled(rule.rule_id)]
+    raw: List[Violation] = []
+    for rule in active:
+        if rule.scope == "project":
+            raw.extend(rule.check_project(root, modules, config.tests_path))
+            continue
+        for relpath in modules:
+            if config.path_excluded(relpath, rule.rule_id):
+                continue
+            raw.extend(rule.check_file(modules[relpath]))
+    raw.sort(key=lambda v: (v.relpath, v.line, v.col, v.rule_id))
+    for violation in raw:
+        if baseline.suppresses(violation):
+            report.suppressed += 1
+        else:
+            report.violations.append(violation)
+    return report
+
+
+def _print_report(report: LintReport, out: TextIO) -> None:
+    for error in report.parse_errors:
+        print(f"error: {error}", file=out)
+    for violation in report.violations:
+        print(violation.format(), file=out)
+    status = "clean" if report.clean else "FAILED"
+    print(f"simlint: {report.files_checked} files, "
+          f"{len(report.violations)} violations, "
+          f"{report.suppressed} baselined — {status}", file=out)
+
+
+def _print_rules(out: TextIO) -> None:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.title} [{rule.scope}]", file=out)
+        print(f"    {rule.rationale}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: determinism/accounting static analysis")
+    parser.add_argument("targets", nargs="*",
+                        help="files or directories (default: configured "
+                             "[tool.simlint] paths)")
+    parser.add_argument("--root", default=".",
+                        help="repository root holding pyproject.toml")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: configured)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every violation, ignoring the baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="acknowledge current violations into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+
+    root = Path(args.root).resolve()
+    try:
+        config = load_config(root)
+        if args.baseline is not None:
+            config.baseline = args.baseline
+        baseline = (Baseline() if args.no_baseline
+                    else Baseline.load(config.baseline_path))
+        report = run_lint(root, targets=args.targets or None, config=config,
+                          baseline=baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"simlint: error: {exc}", file=out)
+        return 2
+
+    if args.write_baseline:
+        baseline.save(config.baseline_path, report.violations)
+        print(f"simlint: baselined {len(report.violations)} violations "
+              f"into {config.baseline_path}", file=out)
+        return 0
+
+    _print_report(report, out)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -86,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="TrEnv paper experiments")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("lint",
+                   help="simlint static analysis (see `repro lint --help`)",
+                   add_help=False)
     perf = sub.add_parser(
         "perf", help="host-side perf harness (writes BENCH_perf.json)")
     perf.add_argument("--quick", action="store_true",
@@ -108,11 +111,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Delegated wholesale: simlint owns its own argparse surface.
+        from repro.analysis.simlint import main as lint_main
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
         print("perf")
+        print("lint")
         return 0
     if args.command == "perf":
         from repro.bench.perf import run_perf

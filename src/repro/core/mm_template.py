@@ -23,6 +23,7 @@ from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
+from repro.analysis import hooks
 from repro.criu.images import SnapshotImage
 from repro.mem.address_space import (MAP_PRIVATE, AddressSpace, VMA)
 from repro.mem.pools import DedupStore, MemoryPool, PoolBlock
@@ -130,6 +131,8 @@ class MMTemplateRegistry:
                                 PTE_REMOTE_INVALID).astype(np.uint8)
         vma.offsets[:] = block.offsets
         vma.pool = block.pool
+        if hooks.active is not None:
+            hooks.active.on_pte_bound(vma)
 
     def mmt_attach(self, template: MemoryTemplate, space: AddressSpace,
                    as_root: bool = True) -> Generator:

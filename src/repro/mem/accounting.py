@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis import hooks
 from repro.mem.layout import MB, PAGE_SIZE
 
 
@@ -48,6 +49,8 @@ class MemoryAccountant:
                 and delta_bytes > 0):
             self.cap_violations += 1
         self._sample(now)
+        if hooks.active is not None:
+            hooks.active.on_accountant_charge(self, category, delta_bytes)
 
     def charge_pages(self, category: str, delta_pages: int) -> None:
         self.charge(category, delta_pages * PAGE_SIZE)

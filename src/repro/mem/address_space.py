@@ -30,6 +30,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro import optflags
+from repro.analysis import hooks
 from repro.mem.cow import CowPageArray, TemplateBase, count_equal
 from repro.mem.layout import PAGE_SIZE
 from repro.mem.pools import MemoryPool, PoolBlock
@@ -196,6 +197,8 @@ class AddressSpace:
         self.vmas.append(vma)
         self._cum = None
         self._charge(count_equal(vma.state, PTE_LOCAL))
+        if hooks.active is not None:
+            hooks.active.on_pte_bound(vma)
         return vma
 
     def find_vma(self, name: str) -> VMA:
@@ -227,6 +230,8 @@ class AddressSpace:
             idx = np.nonzero(missing)[0]
             vma.content[idx] = content_base + idx
         self._charge(fresh)
+        if hooks.active is not None:
+            hooks.active.on_pte_bound(vma)
 
     def populate_all_local(self, content_base: int = 0) -> None:
         """Materialise every VMA as local (the eager CRIU restore path).
@@ -244,6 +249,8 @@ class AddressSpace:
                 missing = np.asarray(vma.content == -1)
                 idx = np.nonzero(missing)[0]
                 vma.content[idx] = content_base + idx
+            if hooks.active is not None:
+                hooks.active.on_pte_bound(vma)
         self._charge(fresh)
 
     def bind_remote(self, vma: VMA, block: PoolBlock, valid) -> None:
@@ -269,6 +276,8 @@ class AddressSpace:
         vma.offsets[:] = block.offsets
         vma.pool = block.pool
         self._charge(-freed)
+        if hooks.active is not None:
+            hooks.active.on_pte_bound(vma)
 
     # -- faults --------------------------------------------------------------------
 
@@ -352,6 +361,8 @@ class AddressSpace:
             vma.state[idx[states != PTE_LOCAL]] = PTE_LOCAL
             out.local_pages_allocated += n_alloc
             self._charge(n_alloc)
+        if n_cow and hooks.active is not None:
+            hooks.active.on_pte_cow(vma, n_cow)
 
     # -- snapshotting helpers ---------------------------------------------------------
 
@@ -414,3 +425,5 @@ class AddressSpace:
             raise AssertionError("negative local page count")
         if self.on_local_delta is not None:
             self.on_local_delta(delta_pages)
+        if hooks.active is not None:
+            hooks.active.on_local_charge(self, delta_pages)

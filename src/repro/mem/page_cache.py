@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from repro.analysis import hooks
 from repro.mem.layout import PAGE_SIZE, pages_for_bytes
 
 
@@ -41,13 +42,17 @@ class PageCache:
         cached = self._files.get(file_id)
         if cached is None:
             cached = self._files[file_id] = set()
-        fresh_blocks = set(wanted) - cached if cached else set(wanted)
-        fresh = len(fresh_blocks)
-        cached |= fresh_blocks
+        # Order-free insert: size delta counts the misses without ever
+        # iterating the set, so no ordering can leak into results.
+        before = len(cached)
+        cached.update(wanted)
+        fresh = len(cached) - before
         self.hits += count - fresh
         self.misses += fresh
         if fresh and self.on_delta is not None:
             self.on_delta(fresh)
+        if fresh and hooks.active is not None:
+            hooks.active.on_page_cache_delta(self, fresh)
         return fresh
 
     def evict_file(self, file_id: int) -> int:
@@ -57,6 +62,8 @@ class PageCache:
             return 0
         if self.on_delta is not None:
             self.on_delta(-len(victims))
+        if hooks.active is not None:
+            hooks.active.on_page_cache_delta(self, -len(victims))
         return len(victims)
 
     def drop_all(self) -> int:
@@ -65,6 +72,8 @@ class PageCache:
         self._files.clear()
         if freed and self.on_delta is not None:
             self.on_delta(-freed)
+        if freed and hooks.active is not None:
+            hooks.active.on_page_cache_delta(self, -freed)
         return freed
 
     @property

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis import hooks
 from repro.faults.errors import (PoolExhaustedError, PoolTimeoutError,
                                  PoolUnavailableError)
 from repro.mem.layout import PAGE_SIZE
@@ -139,6 +140,8 @@ class MemoryPool:
         base = self._next_offset
         self._next_offset += npages
         self._stored_pages += npages
+        if hooks.active is not None:
+            hooks.active.on_pool_alloc(self, npages)
         return np.arange(base, base + npages, dtype=np.int64)
 
     @property
@@ -315,6 +318,8 @@ class TieredPool(MemoryPool):
         # Tag cold offsets with a high bit so valid_mask can split them.
         out[~hot_mask] = cold + _COLD_TAG
         self._stored_pages += npages
+        if hooks.active is not None:
+            hooks.active.on_pool_alloc(self, npages)
         return out
 
     def split_offsets(self, offsets: np.ndarray):

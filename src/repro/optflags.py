@@ -13,35 +13,57 @@ Flags:
   them per attach.
 * ``trace_cache`` — per-(function, invocation) generated access traces
   are memoised instead of re-drawn from the (stateless, seeded) RNG.
+
+``FLAGS`` is the machine-readable registry: tooling enumerates it
+instead of hard-coding names.  ``repro.analysis`` rule SIM005 reads it
+to verify every flag's fast/slow path pair is exercised by at least one
+test, and the context managers below toggle exactly this set.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+#: Every optimization flag, in declaration order.  Each name is a module
+#: attribute holding a bool; add new flags here and nowhere else.
+FLAGS: Tuple[str, ...] = ("cow_attach", "trace_cache")
 
 cow_attach: bool = True
 trace_cache: bool = True
 
 
+def _snapshot() -> Tuple[bool, ...]:
+    return tuple(bool(globals()[name]) for name in FLAGS)
+
+
+def _restore(saved: Tuple[bool, ...]) -> None:
+    for name, value in zip(FLAGS, saved):
+        globals()[name] = value
+
+
+def _set_all(value: bool) -> None:
+    for name in FLAGS:
+        globals()[name] = value
+
+
 @contextmanager
-def optimizations_disabled():
+def optimizations_disabled() -> Iterator[None]:
     """Run a block on the copying / no-cache baseline paths."""
-    global cow_attach, trace_cache
-    saved = (cow_attach, trace_cache)
-    cow_attach = trace_cache = False
+    saved = _snapshot()
+    _set_all(False)
     try:
         yield
     finally:
-        cow_attach, trace_cache = saved
+        _restore(saved)
 
 
 @contextmanager
-def optimizations_enabled():
+def optimizations_enabled() -> Iterator[None]:
     """Force the optimised paths on (e.g. inside a disabled block)."""
-    global cow_attach, trace_cache
-    saved = (cow_attach, trace_cache)
-    cow_attach = trace_cache = True
+    saved = _snapshot()
+    _set_all(True)
     try:
         yield
     finally:
-        cow_attach, trace_cache = saved
+        _restore(saved)

@@ -215,7 +215,7 @@ class Cluster:
             per_node_peak_mb=peaks,
             total_peak_mb=sum(peaks),
             pool_used_mb=pool_mb,
-            dispatch_counts=dict(self.dispatch_counts),
+            dispatch_counts=dict(sorted(self.dispatch_counts.items())),
             duration=self.sim.now,
             availability=merged.availability(),
             redispatches=self.redispatches,

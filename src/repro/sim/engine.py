@@ -19,6 +19,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
+from repro.analysis import hooks
+
 
 class SimulationError(RuntimeError):
     """Raised for engine misuse (e.g. yielding an unknown command)."""
@@ -299,10 +301,14 @@ class Simulator:
                 use_callback = True
         if use_callback:
             when, _seq, fn = heapq.heappop(self._callbacks)
+            if hooks.active is not None:
+                hooks.active.on_sim_event(self, when)
             self.now = when
             fn()
             return
         when, _seq, task, value, epoch = heapq.heappop(self._queue)
+        if hooks.active is not None:
+            hooks.active.on_sim_event(self, when)
         if task.finished or epoch != task._epoch:
             # Stale wake-up (task interrupted since it was scheduled):
             # drop it without advancing the clock.

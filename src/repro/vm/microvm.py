@@ -105,7 +105,9 @@ class MicroVM:
         self.guest_cache.drop_all()
         # The kernel reclaims host page-cache entries of this VM's
         # private device files once they are closed and deleted.
-        for fid in self._private_host_fids:
+        # Sorted: eviction order feeds the shared accountant's timeline,
+        # so it must not depend on set iteration order (SIM003).
+        for fid in sorted(self._private_host_fids):
             self.host_cache.evict_file(fid)
         self._private_host_fids.clear()
         self.state = VMState.DESTROYED

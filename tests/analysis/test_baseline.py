@@ -1,0 +1,84 @@
+"""Baseline (allowlist) round-trip and fingerprint-stability tests."""
+
+import pytest
+
+from repro.analysis.baseline import Baseline, fingerprint, fingerprint_violation
+from repro.analysis.rules import Violation
+
+
+def make_violation(line=3, snippet="x = time.time()",
+                   relpath="src/repro/sample.py", rule_id="SIM001"):
+    return Violation(rule_id=rule_id, relpath=relpath, line=line, col=4,
+                     message="wall-clock call", snippet=snippet)
+
+
+def test_fingerprint_ignores_line_numbers():
+    a = fingerprint_violation(make_violation(line=3))
+    b = fingerprint_violation(make_violation(line=300))
+    assert a == b
+
+
+def test_fingerprint_changes_with_source_text():
+    a = fingerprint_violation(make_violation(snippet="x = time.time()"))
+    b = fingerprint_violation(make_violation(snippet="y = time.time()"))
+    assert a != b
+
+
+def test_fingerprint_strips_indentation():
+    assert fingerprint("SIM001", "a.py", "    x = 1") == \
+        fingerprint("SIM001", "a.py", "x = 1")
+
+
+def test_round_trip_suppresses(tmp_path):
+    path = tmp_path / "baseline.txt"
+    violations = [make_violation(),
+                  make_violation(rule_id="SIM003", snippet="for x in s:")]
+    Baseline().save(path, violations)
+    loaded = Baseline.load(path)
+    assert len(loaded) == 2
+    for violation in violations:
+        assert loaded.suppresses(violation)
+    # A different offence in the same file is NOT suppressed.
+    assert not loaded.suppresses(make_violation(snippet="z = time.time()"))
+
+
+def test_saved_file_carries_header_and_snippets(tmp_path):
+    path = tmp_path / "baseline.txt"
+    Baseline().save(path, [make_violation()])
+    text = path.read_text(encoding="utf-8")
+    assert "--write-baseline" in text
+    assert "x = time.time()" in text           # justification comment seed
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.txt")
+    assert len(baseline) == 0
+    assert not baseline.suppresses(make_violation())
+
+
+def test_comments_and_blanks_ignored(tmp_path):
+    path = tmp_path / "baseline.txt"
+    entry = fingerprint_violation(make_violation())
+    path.write_text(
+        "# header comment\n\n"
+        f"{entry.rule_id} {entry.relpath} {entry.digest}  # justified\n",
+        encoding="utf-8")
+    assert Baseline.load(path).suppresses(make_violation())
+
+
+def test_malformed_entry_raises(tmp_path):
+    path = tmp_path / "baseline.txt"
+    path.write_text("SIM001 only-two-fields\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="malformed"):
+        Baseline.load(path)
+
+
+def test_resave_preserves_existing_entries(tmp_path):
+    path = tmp_path / "baseline.txt"
+    first = make_violation()
+    second = make_violation(rule_id="SIM002", snippet="random.random()")
+    baseline = Baseline()
+    baseline.save(path, [first])
+    baseline.save(path, [second])
+    loaded = Baseline.load(path)
+    assert loaded.suppresses(first) and loaded.suppresses(second)

@@ -1,0 +1,18 @@
+"""Suite-wide fixtures.
+
+Setting ``REPRO_SANITIZE=1`` wraps every test in a runtime sanitizer
+(:mod:`repro.analysis.sanitizer`): kernel-invariant shadow ledgers are
+verified at each instrumentation hook and at a final barrier when the
+test ends.  CI runs the ``tests/mem`` and ``tests/core`` slices this
+way; locally it is off, so the hooks cost a single ``is None`` check.
+"""
+
+import pytest
+
+from repro.analysis.sanitizer import maybe_sanitized
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_if_requested():
+    with maybe_sanitized() as sanitizer:
+        yield sanitizer

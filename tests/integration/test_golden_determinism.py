@@ -41,3 +41,36 @@ def test_flags_restored_after_context():
     with optflags.optimizations_disabled():
         assert not optflags.cow_attach and not optflags.trace_cache
     assert optflags.cow_attach and optflags.trace_cache
+
+
+@pytest.mark.parametrize("platform", ["t-cxl", "faasnap+"])
+def test_w2_repeat_is_bit_identical(platform):
+    """Teardown eviction order and page-cache counting are order-free.
+
+    VM teardown evicts the private host-cache files of many VMs into a
+    shared accountant; ``charge_file`` counts misses on a set.  Both ran
+    over unordered sets before the SIM003 sweep — two identical-seed W2
+    runs must agree on the full stream *and* the memory peak (which the
+    eviction/charge timeline feeds).
+    """
+    assert run_w2_slice(platform) == run_w2_slice(platform)
+
+
+def test_w2_cluster_dispatch_counts_deterministic():
+    """Cluster results expose dispatch counts in sorted-key order."""
+    from repro.mem.layout import GB as _GB
+    from repro.mem.pools import CXLPool
+    from repro.serverless.cluster import make_trenv_cluster
+    from repro.workloads.synthetic import make_w2_diurnal
+
+    def run(seed):
+        cluster = make_trenv_cluster(3, CXLPool(128 * _GB), seed=seed)
+        wl = make_w2_diurnal(seed=seed, duration=150.0, mean_rate=1.6)
+        result = cluster.run_workload(wl)
+        return (list(result.dispatch_counts.items()),
+                [(r.function, r.e2e) for r in result.recorder.results])
+
+    first, second = run(3), run(3)
+    assert first == second
+    keys = [k for k, _ in first[0]]
+    assert keys == sorted(keys)
