@@ -44,3 +44,20 @@ def test_quick_harness_report(tmp_path):
     for stats in thr["platforms"].values():
         assert stats["invocations"] > 0
         assert stats["inv_per_s"] > 0
+
+    # Cluster scale-out section: hot-path aggregate + transparent e2e.
+    # Quick mode shrinks the scenario (4 nodes x 8k invocations), so
+    # only the shape and sanity are asserted here; the full run's >= 5x
+    # aggregate is tracked in the archived BENCH_perf.json.
+    scale = report["cluster_scale"]
+    assert set(scale["hot_paths"]) == {
+        "scheduler", "dispatch", "metrics", "schedule_build", "arrivals"}
+    for path in scale["hot_paths"].values():
+        assert path["reference_s"] > 0 and path["optimized_s"] > 0
+        assert path["speedup"] > 0
+    assert scale["speedup"] > 1.0   # aggregate wins even at quick scale
+    assert scale["scheduled_invocations"] > 0
+    e2e = scale["end_to_end"]
+    assert e2e["optimized"]["wall_s"] > 0
+    assert e2e["reference"]["wall_s"] > 0
+    assert e2e["optimized"]["invocations"] == e2e["reference"]["invocations"]

@@ -97,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output path (default: BENCH_perf.json)")
     perf.add_argument("--json", action="store_true",
                       help="emit raw JSON instead of pretty print")
+    perf.add_argument("--profile", action="store_true",
+                      help="cProfile the run; print top-25 by cumulative")
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel experiment sweep (writes BENCH_sweep.json)")
+    sweep.add_argument("--quick", action="store_true",
+                       help="CI-sized grid: two shards instead of the "
+                            "full (seed, policy, trace) product")
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = CPU count, 1 = serial "
+                            "in-process; shards are bit-identical either "
+                            "way)")
+    sweep.add_argument("--out", default="BENCH_sweep.json",
+                       help="output path (default: BENCH_sweep.json)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit raw JSON instead of pretty print")
+    sweep.add_argument("--profile", action="store_true",
+                       help="cProfile the run; print top-25 by cumulative")
     for name in EXPERIMENTS:
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--workload", default="W1", choices=("W1", "W2"))
@@ -107,7 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cores", type=int, default=4)
         p.add_argument("--json", action="store_true",
                        help="emit raw JSON instead of pretty print")
+        p.add_argument("--profile", action="store_true",
+                       help="cProfile the run; print top-25 by cumulative")
     return parser
+
+
+def _run_profiled(fn):
+    """Run ``fn`` under cProfile, print top-25 by cumulative time."""
+    import cProfile
+    import pstats
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
 
 
 def main(argv=None) -> int:
@@ -121,13 +155,22 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(name)
         print("perf")
+        print("sweep")
         print("lint")
         return 0
     if args.command == "perf":
         from repro.bench.perf import run_perf
-        result = run_perf(quick=args.quick, out_path=args.out)
+        runner = lambda: run_perf(quick=args.quick, out_path=args.out)
+    elif args.command == "sweep":
+        from repro.bench.sweep import run_sweep
+        runner = lambda: run_sweep(jobs=args.jobs, quick=args.quick,
+                                   out_path=args.out)
     else:
-        result = EXPERIMENTS[args.command](args)
+        runner = lambda: EXPERIMENTS[args.command](args)
+    if getattr(args, "profile", False):
+        result = _run_profiled(runner)
+    else:
+        result = runner()
     payload = _jsonable(result)
     if getattr(args, "json", False):
         json.dump(payload, sys.stdout)

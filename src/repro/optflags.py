@@ -13,6 +13,21 @@ Flags:
   them per attach.
 * ``trace_cache`` — per-(function, invocation) generated access traces
   are memoised instead of re-drawn from the (stateless, seeded) RNG.
+* ``timer_wheel`` — the engine schedules wake-ups on a calendar queue
+  (bucket per distinct virtual time, FIFO within a bucket) instead of
+  one global binary heap; same-tick wake-ups append in O(1) with no
+  heap traffic.  Pop order stays exactly ``(time, seq)``.
+* ``dispatch_index`` — cluster dispatch reads incrementally-maintained
+  indices (per-function warm-instance map, load-keyed lazy heap)
+  instead of scanning every platform per invocation.
+* ``stream_metrics`` — :class:`~repro.serverless.metrics.LatencyRecorder`
+  additionally folds each sample into fixed-bin log-scale histograms;
+  quantile queries become O(bins) (exact below the small-sample
+  threshold) and recorders may drop per-invocation storage entirely.
+* ``batch_arrivals`` — workload runners pre-compute the arrival
+  schedule and schedule each invocation directly at its arrival time
+  (``Simulator.spawn_at``) instead of spawning one ``Delay`` generator
+  per arrival at t=0.
 
 ``FLAGS`` is the machine-readable registry: tooling enumerates it
 instead of hard-coding names.  ``repro.analysis`` rule SIM005 reads it
@@ -27,10 +42,16 @@ from typing import Iterator, Tuple
 
 #: Every optimization flag, in declaration order.  Each name is a module
 #: attribute holding a bool; add new flags here and nowhere else.
-FLAGS: Tuple[str, ...] = ("cow_attach", "trace_cache")
+FLAGS: Tuple[str, ...] = ("cow_attach", "trace_cache", "timer_wheel",
+                          "dispatch_index", "stream_metrics",
+                          "batch_arrivals")
 
 cow_attach: bool = True
 trace_cache: bool = True
+timer_wheel: bool = True
+dispatch_index: bool = True
+stream_metrics: bool = True
+batch_arrivals: bool = True
 
 
 def _snapshot() -> Tuple[bool, ...]:
@@ -52,6 +73,21 @@ def optimizations_disabled() -> Iterator[None]:
     """Run a block on the copying / no-cache baseline paths."""
     saved = _snapshot()
     _set_all(False)
+    try:
+        yield
+    finally:
+        _restore(saved)
+
+
+@contextmanager
+def disabled(*names: str) -> Iterator[None]:
+    """Turn off just the named flags (the rest keep their values)."""
+    for name in names:
+        if name not in FLAGS:
+            raise ValueError(f"unknown optflag {name!r}; known: {FLAGS}")
+    saved = _snapshot()
+    for name in names:
+        globals()[name] = False
     try:
         yield
     finally:

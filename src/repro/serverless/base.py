@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.faults.errors import NodeCrashedError, PoolFault
 from repro.faults.retry import RetryPolicy
@@ -86,6 +86,10 @@ class WarmPool:
         self._putseq = itertools.count()
         self.hits = 0
         self.misses = 0
+        #: Single-consumer hook: called with (function, idle count) after
+        #: every change to a function's idle-instance count.  Cluster
+        #: dispatch indices subscribe so WarmAffinity never scans.
+        self.on_change: Optional[Callable[[str, int], None]] = None
 
     def has(self, function: str) -> bool:
         """Whether at least one idle instance of ``function`` is parked."""
@@ -102,6 +106,8 @@ class WarmPool:
             inst = stack.pop()
             inst.busy = True
             inst.parked = False
+            if self.on_change is not None:
+                self.on_change(function, len(stack))
             return inst
         self.misses += 1
         return None
@@ -109,18 +115,23 @@ class WarmPool:
     def put(self, inst: Instance) -> None:
         inst.busy = False
         inst.parked = True
-        self._by_function.setdefault(inst.function, []).append(inst)
+        stack = self._by_function.setdefault(inst.function, [])
+        stack.append(inst)
         fseq = self._fseq.get(inst.function)
         if fseq is None:
             fseq = self._fseq[inst.function] = len(self._fseq)
         heapq.heappush(self._heap,
                        (inst.last_used, fseq, next(self._putseq), inst))
+        if self.on_change is not None:
+            self.on_change(inst.function, len(stack))
 
     def remove(self, inst: Instance) -> bool:
         stack = self._by_function.get(inst.function, [])
         if inst in stack:
             stack.remove(inst)
             inst.parked = False
+            if self.on_change is not None:
+                self.on_change(inst.function, len(stack))
             return True
         return False
 
@@ -140,12 +151,23 @@ class WarmPool:
 
     def clear(self) -> None:
         """Drop every parked instance (node crash: warm state is lost)."""
-        for stack in self._by_function.values():
+        emptied: List[str] = []
+        for function, stack in self._by_function.items():
+            if stack:
+                emptied.append(function)
             for inst in stack:
                 inst.parked = False
         self._by_function.clear()
         self._heap.clear()
         self._fseq.clear()
+        if self.on_change is not None:
+            for function in emptied:
+                self.on_change(function, 0)
+
+    def function_counts(self) -> Dict[str, int]:
+        """{function: idle count} for every function with idle instances."""
+        return {fn: len(stack) for fn, stack in self._by_function.items()
+                if stack}
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._by_function.values())

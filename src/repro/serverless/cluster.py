@@ -5,13 +5,27 @@ cross-machine-intra-rack deduplication.  Only one copy is needed per
 rack if it is read-only, reducing the cost by a factor of the number of
 machines (~10)."  The cluster shares one simulator across nodes (one
 virtual clock) and dispatches invocations by policy.
+
+Dispatch is a per-invocation hot path: at trace scale (10 nodes x 100k
+invocations) the naive policies rescan every node per decision.  With
+:data:`repro.optflags.dispatch_index` (sampled at :class:`Cluster`
+construction) the built-in policies are served from incrementally
+maintained indices — a per-function warm-instance map fed by
+:class:`~repro.serverless.base.WarmPool` change notifications and a
+load-keyed lazy heap fed by
+:class:`~repro.sim.cpu.FairShareCPU` load notifications — with the
+O(nodes) scan kept as the fallback (and as the flag-off reference
+path).  Index picks are defined to equal the scan picks exactly, so
+simulated results are bit-identical either way.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import optflags
 from repro.faults.errors import NodeCrashedError
 from repro.node import Node
 from repro.serverless.base import ServerlessPlatform
@@ -39,8 +53,20 @@ class RoundRobin(DispatchPolicy):
 
     def pick(self, platforms, function):
         platform = platforms[self._next % len(platforms)]
-        self._next += 1
+        # Wrap at increment so the cursor stays bounded over
+        # million-invocation runs instead of growing without limit.
+        self._next = (self._next + 1) % len(platforms)
         return platform
+
+
+def _load_key(platform: ServerlessPlatform) -> Tuple[int, str]:
+    """Least-loaded ordering: runnable tasks, then node name.
+
+    The explicit name tie-break makes the choice independent of the
+    candidate list's construction order — required for the dispatch
+    index (a heap) to reproduce the scan exactly.
+    """
+    return (platform.node.cpu.load, platform.node.name)
 
 
 class LeastLoaded(DispatchPolicy):
@@ -49,7 +75,7 @@ class LeastLoaded(DispatchPolicy):
     name = "least-loaded"
 
     def pick(self, platforms, function):
-        return min(platforms, key=lambda p: p.node.cpu.load)
+        return min(platforms, key=_load_key)
 
 
 class WarmAffinity(DispatchPolicy):
@@ -62,7 +88,94 @@ class WarmAffinity(DispatchPolicy):
         for platform in platforms:
             if platform.warm.has(function):
                 return platform
-        return min(platforms, key=lambda p: p.node.cpu.load)
+        return min(platforms, key=_load_key)
+
+
+class _DispatchIndex:
+    """Incrementally maintained indices behind the built-in policies.
+
+    * ``_warm``: function -> {platform index: warm count}, updated by
+      :attr:`WarmPool.on_change` on every put/take/remove/clear.  The
+      warm-affinity pick is the smallest non-crashed holder index, which
+      equals the first hit of the platform-order scan.
+    * ``_loads``: a lazy heap of ``(load, node name, index)`` entries,
+      pushed by :attr:`FairShareCPU.on_load_change` on every runnable
+      count change.  Stale entries (load no longer current) are popped
+      at pick time; crashed holders are skipped but re-pushed so they
+      rejoin the order on recovery.
+
+    ``pick`` returns None whenever the fast path cannot answer exactly
+    (unindexed policy, every node down) and the caller falls back to
+    the O(nodes) scan.
+    """
+
+    def __init__(self, platforms: Sequence[ServerlessPlatform]):
+        self._platforms = list(platforms)
+        self._warm: Dict[str, Dict[int, int]] = {}
+        self._loads: List[Tuple[int, str, int]] = []
+        for idx, platform in enumerate(self._platforms):
+            cpu = platform.node.cpu
+            cpu.on_load_change = (
+                lambda load, i=idx: self._on_load(i, load))
+            platform.warm.on_change = (
+                lambda fn, count, i=idx: self._on_warm(i, fn, count))
+            heapq.heappush(self._loads,
+                           (cpu.load, platform.node.name, idx))
+            for fn, count in sorted(platform.warm.function_counts().items()):
+                self._warm.setdefault(fn, {})[idx] = count
+
+    def _on_load(self, idx: int, load: int) -> None:
+        heapq.heappush(self._loads,
+                       (load, self._platforms[idx].node.name, idx))
+
+    def _on_warm(self, idx: int, function: str, count: int) -> None:
+        holders = self._warm.setdefault(function, {})
+        if count:
+            holders[idx] = count
+        else:
+            holders.pop(idx, None)
+
+    def _pick_warm(self, function: str) -> Optional[ServerlessPlatform]:
+        holders = self._warm.get(function)
+        if not holders:
+            return None
+        best = -1
+        for idx in holders:
+            if (best < 0 or idx < best) and \
+                    not self._platforms[idx].crashed:
+                best = idx
+        return self._platforms[best] if best >= 0 else None
+
+    def _pick_least_loaded(self) -> Optional[ServerlessPlatform]:
+        heap = self._loads
+        crashed_entries = []
+        chosen = None
+        while heap:
+            load, _name, idx = heap[0]
+            platform = self._platforms[idx]
+            if load != platform.node.cpu.load:
+                heapq.heappop(heap)            # stale snapshot
+                continue
+            if platform.crashed:
+                crashed_entries.append(heapq.heappop(heap))
+                continue
+            chosen = platform                  # current + healthy: keep it
+            break
+        for entry in crashed_entries:          # rejoin on recovery
+            heapq.heappush(heap, entry)
+        return chosen
+
+    def pick(self, policy: DispatchPolicy,
+             function: str) -> Optional[ServerlessPlatform]:
+        # Exact types only: a subclass may have changed pick semantics.
+        if type(policy) is WarmAffinity:
+            platform = self._pick_warm(function)
+            if platform is not None:
+                return platform
+            return self._pick_least_loaded()
+        if type(policy) is LeastLoaded:
+            return self._pick_least_loaded()
+        return None
 
 
 @dataclass
@@ -109,6 +222,13 @@ class Cluster:
             raise ValueError("cluster node names must be unique")
         self.sim: Simulator = platforms[0].node.sim
         self.policy = policy or WarmAffinity()
+        # optflags are sampled at construction (the optflags contract).
+        self._index: Optional[_DispatchIndex] = (
+            _DispatchIndex(self.platforms)
+            if optflags.dispatch_index
+            and type(self.policy) in (WarmAffinity, LeastLoaded)
+            else None)
+        self._batch_arrivals = optflags.batch_arrivals
         self.dispatch_counts: Dict[str, int] = {}
         self.redispatches = 0
         self.node_crashes = 0
@@ -145,29 +265,41 @@ class Cluster:
 
     def run_workload(self, workload: Workload,
                      warmup: Optional[float] = None) -> ClusterResult:
+        chosen_warmup = workload.warmup if warmup is None else warmup
+        # Derive the function set once, not per platform, and resolve
+        # each missing name at most once for the whole rack.  Names are
+        # looked up only when a platform lacks them — pre-registered
+        # bench-local profiles never hit the global table.
+        needed = workload.functions_used()
+        resolved: Dict = {}
         for platform in self.platforms:
             platform.keep_alive = workload.keep_alive
-            platform.recorder.warmup = (workload.warmup if warmup is None
-                                        else warmup)
+            platform.recorder.warmup = chosen_warmup
             platform.node.memory.soft_cap_bytes = workload.soft_cap_bytes
-            for name in workload.functions_used():
+            for name in needed:
                 if name not in platform.functions:
-                    platform.register_function(function_by_name(name))
+                    profile = resolved.get(name)
+                    if profile is None:
+                        profile = resolved[name] = function_by_name(name)
+                    platform.register_function(profile)
 
-        def arrival(event, slot):
-            yield Delay(max(0.0, event.time - self.sim.now))
+        def dispatch(event, slot):
             excluded: set = set()
             for _attempt in range(self.max_dispatch_attempts):
-                candidates = [p for p in self.platforms
-                              if not p.crashed
-                              and p.node.name not in excluded]
-                if not candidates:
-                    # Whole rack down (or every survivor just failed us):
-                    # wait for recovery and retry every node.
-                    excluded.clear()
-                    yield Delay(self.redispatch_wait)
-                    continue
-                platform = self.policy.pick(candidates, event.function)
+                platform = None
+                if self._index is not None and not excluded:
+                    platform = self._index.pick(self.policy, event.function)
+                if platform is None:
+                    candidates = [p for p in self.platforms
+                                  if not p.crashed
+                                  and p.node.name not in excluded]
+                    if not candidates:
+                        # Whole rack down (or every survivor just failed
+                        # us): wait for recovery and retry every node.
+                        excluded.clear()
+                        yield Delay(self.redispatch_wait)
+                        continue
+                    platform = self.policy.pick(candidates, event.function)
                 key = platform.node.name
                 self.dispatch_counts[key] = (
                     self.dispatch_counts.get(key, 0) + 1)
@@ -184,24 +316,45 @@ class Cluster:
             self.failed.append((event.function, event.time,
                                 "dispatch budget exhausted"))
 
+        def arrival(event, slot):
+            yield Delay(max(0.0, event.time - self.sim.now))
+            yield from dispatch(event, slot)
+
         slots: List[Dict] = []
         waiters = []
-        for i, e in enumerate(workload.events):
-            slot = {"node": None, "waiter": None}
-            waiter = self.sim.spawn(arrival(e, slot), name=f"cinv-{i}")
-            slot["waiter"] = waiter
-            slots.append(slot)
-            waiters.append(waiter)
+        if self._batch_arrivals:
+            # One queue entry per invocation, scheduled directly at its
+            # arrival time; same wake order as the Delay wrappers
+            # (sequence numbers are assigned in event order both ways).
+            now = self.sim.now
+
+            def schedule():
+                for e in workload.events:
+                    slot = {"node": None, "waiter": None}
+                    slots.append(slot)
+                    yield (max(now, e.time), dispatch(e, slot))
+
+            waiters = self.sim.spawn_at_many(schedule())
+            for slot, waiter in zip(slots, waiters):
+                slot["waiter"] = waiter
+        else:
+            for i, e in enumerate(workload.events):
+                slot = {"node": None, "waiter": None}
+                waiter = self.sim.spawn(arrival(e, slot), name=f"cinv-{i}")
+                slot["waiter"] = waiter
+                slots.append(slot)
+                waiters.append(waiter)
         self._inflight = slots
         self.sim.run()
         if any(not w.done for w in waiters):
             raise RuntimeError("cluster run left invocations unfinished")
 
-        merged = LatencyRecorder(warmup=workload.warmup if warmup is None
-                                 else warmup)
+        merged = LatencyRecorder(
+            warmup=chosen_warmup,
+            keep_results=all(p.recorder.keep_results
+                             for p in self.platforms))
         for platform in self.platforms:
-            for result in platform.recorder.results:
-                merged.record(result)
+            merged.merge_from(platform.recorder)
         for function, when, reason in self.failed:
             merged.record_failure(function, when, reason)
         peaks = [p.node.memory.peak_bytes / (1 << 20)

@@ -1,11 +1,46 @@
-"""Latency metrics: per-invocation records, percentiles, CDFs."""
+"""Latency metrics: per-invocation records, percentiles, CDFs.
+
+Two storage regimes coexist behind one :class:`LatencyRecorder` API:
+
+* the **exact** regime keeps every :class:`InvocationResult` in a list
+  (the historical behaviour) — O(invocations) memory, quantiles by
+  sorting;
+* the **streaming** regime (:data:`repro.optflags.stream_metrics`,
+  sampled at construction) additionally folds every sample into
+  fixed-bin log-scale histograms (HdrHistogram-style), so quantile
+  queries are O(bins) and — with ``keep_results=False`` — memory is
+  O(bins), not O(invocations).  Each histogram keeps an exact sample
+  buffer until :data:`EXACT_SAMPLE_CAP` samples, so small runs (every
+  tier-1 test, the golden W2 slices) answer quantile queries
+  bit-identically to the exact regime; only trace-scale runs switch to
+  binned answers (bounded relative error, see :class:`LogHistogram`).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import optflags
+
+#: Histograms answer exactly (via a retained sample buffer) until this
+#: many samples, then drop the buffer and answer from bins.
+EXACT_SAMPLE_CAP = 4096
+
+#: Log-scale bin resolution.  128 bins per decade puts neighbouring bin
+#: edges a factor 10^(1/128) ~= 1.8% apart, so a binned quantile is
+#: within ~0.9% of the true value — far below the seed-to-seed noise of
+#: any experiment here.
+BINS_PER_DECADE = 128
+
+#: Smallest resolvable latency (100 ns); everything below lands in bin 0.
+_LO = 1e-7
+_LO_EXP = math.log10(_LO)
+#: 12 decades: 100 ns .. 100 ks covers every latency this simulator emits.
+_N_BINS = 12 * BINS_PER_DECADE
 
 
 def percentile(values: Sequence[float], p: float) -> float:
@@ -16,6 +51,135 @@ def percentile(values: Sequence[float], p: float) -> float:
     if arr.size == 0:
         return float("nan")
     return float(np.percentile(arr, p))
+
+
+#: Pending samples are folded into bins in vectorised chunks of this
+#: size, which also bounds streaming-mode memory between flushes.
+FLUSH_CHUNK = 8192
+
+
+class LogHistogram:
+    """Fixed-bin log-scale histogram with an exact small-sample fallback.
+
+    ``add`` is a single list append — the recorder sits on a
+    per-invocation hot path, so binning is deferred: pending samples
+    fold into bins in vectorised :data:`FLUSH_CHUNK` batches (one
+    ``np.log10`` over the chunk instead of ``math.log10`` per sample).
+    ``quantile`` is O(occupied bins) once the exact buffer is dropped,
+    and bit-exact (``np.percentile`` over retained samples) before
+    that.  Memory is O(occupied bins) + the bounded buffers.
+    """
+
+    __slots__ = ("counts", "_count", "total", "vmin", "vmax", "_exact",
+                 "_exact_cap", "_pending")
+
+    def __init__(self, exact_cap: int = EXACT_SAMPLE_CAP):
+        self.counts: Dict[int, int] = {}
+        self._count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self._exact: Optional[List[float]] = []
+        self._exact_cap = exact_cap
+        self._pending: List[float] = []
+
+    @staticmethod
+    def _bin_mid(idx: int) -> float:
+        # Geometric midpoint of the bin's edge pair.
+        return 10.0 ** (_LO_EXP + (idx + 0.5) / BINS_PER_DECADE)
+
+    @property
+    def count(self) -> int:
+        return self._count + len(self._pending)
+
+    @property
+    def exact(self) -> bool:
+        """Whether quantiles are still answered from retained samples."""
+        self._flush()
+        return self._exact is not None
+
+    def add(self, value: float) -> None:
+        self._pending.append(value)
+        if len(self._pending) >= FLUSH_CHUNK:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Fold pending samples into the bins, vectorised."""
+        if not self._pending:
+            return
+        arr = np.asarray(self._pending, dtype=float)
+        self._count += arr.size
+        self.total += float(arr.sum())
+        self.vmin = min(self.vmin, float(arr.min()))
+        self.vmax = max(self.vmax, float(arr.max()))
+        if self._exact is not None:
+            if len(self._exact) + arr.size <= self._exact_cap:
+                self._exact.extend(self._pending)
+            else:
+                self._exact = None
+        idx = ((np.log10(np.maximum(arr, _LO)) - _LO_EXP)
+               * BINS_PER_DECADE).astype(np.int64)
+        np.clip(idx, 0, _N_BINS - 1, out=idx)
+        counts = self.counts
+        for b, c in zip(*np.unique(idx, return_counts=True)):
+            b = int(b)
+            counts[b] = counts.get(b, 0) + int(c)
+        self._pending = []
+
+    def mean(self) -> float:
+        self._flush()
+        return self.total / self._count if self._count else float("nan")
+
+    def quantile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100); nan if empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        self._flush()
+        if self._count == 0:
+            return float("nan")
+        if self._exact is not None:
+            return float(np.percentile(np.asarray(self._exact, dtype=float),
+                                       p))
+        target = math.ceil(p / 100.0 * self._count)
+        if target <= 0:
+            return self.vmin
+        cum = 0
+        for idx in sorted(self.counts):
+            cum += self.counts[idx]
+            if cum >= target:
+                mid = self._bin_mid(idx)
+                return min(max(mid, self.vmin), self.vmax)
+        return self.vmax
+
+    def cdf_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, cumulative probability) — exact when possible."""
+        self._flush()
+        if self._count == 0:
+            empty = np.empty(0)
+            return empty, empty
+        if self._exact is not None:
+            vals = np.sort(np.asarray(self._exact, dtype=float))
+            probs = np.arange(1, vals.size + 1) / vals.size
+            return vals, probs
+        bins = sorted(self.counts)
+        vals = np.array([self._bin_mid(i) for i in bins])
+        probs = np.cumsum([self.counts[i] for i in bins]) / self._count
+        return vals, probs
+
+    def merge(self, other: "LogHistogram") -> None:
+        self._flush()
+        other._flush()
+        for idx, c in sorted(other.counts.items()):
+            self.counts[idx] = self.counts.get(idx, 0) + c
+        self._count += other._count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+        if self._exact is not None and other._exact is not None and \
+                len(self._exact) + len(other._exact) <= self._exact_cap:
+            self._exact.extend(other._exact)
+        else:
+            self._exact = None
 
 
 @dataclass(frozen=True)
@@ -37,54 +201,241 @@ class InvocationResult:
             raise ValueError("e2e smaller than queue+startup+exec")
 
 
-class LatencyRecorder:
-    """Collects invocation results and answers the paper's questions."""
+class _FunctionAggregate:
+    """Streaming per-function state: three histograms + counters."""
 
-    def __init__(self, warmup: float = 0.0):
-        self.warmup = warmup
+    __slots__ = ("e2e", "startup", "exec", "start_kinds", "degraded",
+                 "retried", "retries_total")
+
+    def __init__(self):
+        self.e2e = LogHistogram()
+        self.startup = LogHistogram()
+        self.exec = LogHistogram()
+        self.start_kinds: Dict[str, int] = {}
+        self.degraded = 0
+        self.retried = 0
+        self.retries_total = 0
+
+    def add(self, r: InvocationResult) -> None:
+        # Inlined LogHistogram.add x3: this runs once per invocation at
+        # trace scale, and the method-call dispatch alone is measurable.
+        h = self.e2e
+        h._pending.append(r.e2e)
+        if len(h._pending) >= FLUSH_CHUNK:
+            h._flush()
+        h = self.startup
+        h._pending.append(r.startup)
+        if len(h._pending) >= FLUSH_CHUNK:
+            h._flush()
+        h = self.exec
+        h._pending.append(r.exec)
+        if len(h._pending) >= FLUSH_CHUNK:
+            h._flush()
+        self.start_kinds[r.start_kind] = \
+            self.start_kinds.get(r.start_kind, 0) + 1
+        if r.degraded:
+            self.degraded += 1
+        if r.retries > 0:
+            self.retried += 1
+            self.retries_total += r.retries
+
+    def merge(self, other: "_FunctionAggregate") -> None:
+        self.e2e.merge(other.e2e)
+        self.startup.merge(other.startup)
+        self.exec.merge(other.exec)
+        for kind, c in sorted(other.start_kinds.items()):
+            self.start_kinds[kind] = self.start_kinds.get(kind, 0) + c
+        self.degraded += other.degraded
+        self.retried += other.retried
+        self.retries_total += other.retries_total
+
+
+class LatencyRecorder:
+    """Collects invocation results and answers the paper's questions.
+
+    ``keep_results=False`` turns the recorder into a pure streaming
+    accumulator (O(bins) memory): :attr:`results` stays empty and
+    :meth:`measured` is unavailable, but every aggregate query —
+    percentiles, means, CDFs, start-kind counts, availability — works.
+    The warm-up filter is applied at record time in streaming mode, so
+    set :attr:`warmup` before the run (the runners do).
+    """
+
+    def __init__(self, warmup: float = 0.0, keep_results: bool = True):
+        self._warmup = warmup
+        self.keep_results = keep_results
         self.results: List[InvocationResult] = []
         #: Invocations that never completed: (function, arrival, reason).
         self.failures: List[Tuple[str, float, str]] = []
+        streaming = optflags.stream_metrics or not keep_results
+        self._per_fn: Optional[Dict[str, _FunctionAggregate]] = (
+            {} if streaming else None)
+
+    # -- warm-up handling --------------------------------------------------------
+
+    @property
+    def warmup(self) -> float:
+        return self._warmup
+
+    @warmup.setter
+    def warmup(self, value: float) -> None:
+        if value == self._warmup:
+            return
+        self._warmup = value
+        if self._per_fn:
+            # Streaming aggregates were filtered with the old warm-up.
+            if not self.keep_results:
+                raise RuntimeError(
+                    "cannot re-filter a streaming-only recorder: set "
+                    "warmup before recording")
+            self._per_fn = {}
+            for r in self.results:
+                self._stream_add(r)
+
+    @property
+    def streaming(self) -> bool:
+        return self._per_fn is not None
+
+    # -- recording ----------------------------------------------------------------
+
+    def _stream_add(self, result: InvocationResult) -> None:
+        if result.arrival < self._warmup:
+            return
+        per_fn = self._per_fn
+        agg = per_fn.get(result.function)
+        if agg is None:
+            agg = per_fn[result.function] = _FunctionAggregate()
+        agg.add(result)
 
     def record(self, result: InvocationResult) -> None:
-        self.results.append(result)
+        # _stream_add inlined: one call per invocation at trace scale.
+        if self.keep_results:
+            self.results.append(result)
+        per_fn = self._per_fn
+        if per_fn is None or result.arrival < self._warmup:
+            return
+        agg = per_fn.get(result.function)
+        if agg is None:
+            agg = per_fn[result.function] = _FunctionAggregate()
+        agg.add(result)
 
     def record_failure(self, function: str, arrival: float,
                        reason: str = "") -> None:
         self.failures.append((function, arrival, reason))
+
+    def merge_from(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's data into this one.
+
+        Result-keeping sources are re-recorded (so this recorder's own
+        warm-up applies); streaming-only sources merge histograms
+        directly, which requires matching warm-ups.
+        """
+        if other.keep_results:
+            for result in other.results:
+                self.record(result)
+        else:
+            if self._per_fn is None:
+                raise RuntimeError(
+                    "cannot merge a streaming-only recorder into an "
+                    "exact-only one")
+            if other._warmup != self._warmup:
+                raise RuntimeError(
+                    "streaming merge requires matching warm-ups "
+                    f"({other._warmup} != {self._warmup})")
+            assert other._per_fn is not None
+            for fn, agg in sorted(other._per_fn.items()):
+                mine = self._per_fn.get(fn)
+                if mine is None:
+                    mine = self._per_fn[fn] = _FunctionAggregate()
+                mine.merge(agg)
+        for failure in other.failures:
+            self.failures.append(failure)
 
     # -- selection ----------------------------------------------------------------
 
     def measured(self, function: Optional[str] = None
                  ) -> List[InvocationResult]:
         """Results past the warm-up window, optionally for one function."""
-        out = [r for r in self.results if r.arrival >= self.warmup]
+        if not self.keep_results:
+            raise RuntimeError(
+                "recorder was built with keep_results=False; "
+                "per-invocation results were not retained")
+        out = [r for r in self.results if r.arrival >= self._warmup]
         if function is not None:
             out = [r for r in out if r.function == function]
         return out
 
+    def _agg(self, function: Optional[str]) -> Optional[_FunctionAggregate]:
+        """The streaming aggregate for ``function`` (None = all).
+
+        The all-functions aggregate is assembled on demand by merging
+        the per-function ones (order-independent), so the per-record
+        hot path maintains exactly one aggregate, not two.
+        """
+        assert self._per_fn is not None
+        if function is None:
+            total = _FunctionAggregate()
+            for fn in sorted(self._per_fn):
+                total.merge(self._per_fn[fn])
+            return total
+        return self._per_fn.get(function)
+
     def functions(self) -> List[str]:
+        if self._per_fn is not None:
+            return sorted(fn for fn, agg in self._per_fn.items()
+                          if agg.e2e.count)
         return sorted({r.function for r in self.measured()})
 
     # -- aggregates ------------------------------------------------------------------
 
     def e2e_percentile(self, p: float, function: Optional[str] = None) -> float:
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            if not 0.0 <= p <= 100.0:
+                raise ValueError(f"percentile out of range: {p}")
+            return agg.e2e.quantile(p) if agg else float("nan")
         return percentile([r.e2e for r in self.measured(function)], p)
 
     def startup_percentile(self, p: float,
                            function: Optional[str] = None) -> float:
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            if not 0.0 <= p <= 100.0:
+                raise ValueError(f"percentile out of range: {p}")
+            return agg.startup.quantile(p) if agg else float("nan")
         return percentile([r.startup for r in self.measured(function)], p)
 
     def exec_percentile(self, p: float, function: Optional[str] = None) -> float:
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            if not 0.0 <= p <= 100.0:
+                raise ValueError(f"percentile out of range: {p}")
+            return agg.exec.quantile(p) if agg else float("nan")
         return percentile([r.exec for r in self.measured(function)], p)
 
     def mean_e2e(self, function: Optional[str] = None) -> float:
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            return agg.e2e.mean() if agg else float("nan")
         vals = [r.e2e for r in self.measured(function)]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def mean_exec(self, function: Optional[str] = None) -> float:
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            return agg.exec.mean() if agg else float("nan")
+        vals = [r.exec for r in self.measured(function)]
         return float(np.mean(vals)) if vals else float("nan")
 
     def cdf(self, function: Optional[str] = None
             ) -> Tuple[np.ndarray, np.ndarray]:
         """(sorted latencies, cumulative probability) for CDF plots."""
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            if agg is None:
+                empty = np.empty(0)
+                return empty, empty
+            return agg.e2e.cdf_points()
         vals = np.sort([r.e2e for r in self.measured(function)])
         if vals.size == 0:
             return vals, vals
@@ -93,12 +444,20 @@ class LatencyRecorder:
 
     def start_kind_counts(self, function: Optional[str] = None
                           ) -> Dict[str, int]:
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            if agg is None:
+                return {}
+            return dict(sorted(agg.start_kinds.items()))
         counts: Dict[str, int] = {}
         for r in self.measured(function):
             counts[r.start_kind] = counts.get(r.start_kind, 0) + 1
         return counts
 
     def count(self, function: Optional[str] = None) -> int:
+        if self._per_fn is not None:
+            agg = self._agg(function)
+            return agg.e2e.count if agg else 0
         return len(self.measured(function))
 
     def availability(self) -> Dict[str, float]:
@@ -110,8 +469,20 @@ class LatencyRecorder:
         completed (e.g. the whole rack was down past the re-dispatch
         budget).
         """
+        failed = [f for f in self.failures if f[1] >= self._warmup]
+        if self._per_fn is not None:
+            agg = self._agg(None)
+            completed = agg.e2e.count
+            total = completed + len(failed)
+            return {
+                "completed": completed,
+                "failed": len(failed),
+                "degraded": agg.degraded,
+                "retried": agg.retried,
+                "retries_total": agg.retries_total,
+                "success_rate": (completed / total) if total else 1.0,
+            }
         rs = self.measured()
-        failed = [f for f in self.failures if f[1] >= self.warmup]
         total = len(rs) + len(failed)
         return {
             "completed": len(rs),
@@ -126,12 +497,11 @@ class LatencyRecorder:
         """Per-function P50/P99 e2e + mean startup, for report tables."""
         out: Dict[str, Dict[str, float]] = {}
         for fn in self.functions():
-            rs = self.measured(fn)
             out[fn] = {
-                "count": len(rs),
-                "p50_e2e": percentile([r.e2e for r in rs], 50),
-                "p99_e2e": percentile([r.e2e for r in rs], 99),
-                "p99_startup": percentile([r.startup for r in rs], 99),
-                "mean_exec": float(np.mean([r.exec for r in rs])),
+                "count": self.count(fn),
+                "p50_e2e": self.e2e_percentile(50, fn),
+                "p99_e2e": self.e2e_percentile(99, fn),
+                "p99_startup": self.startup_percentile(99, fn),
+                "mean_exec": self.mean_exec(fn),
             }
         return out

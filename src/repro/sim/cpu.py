@@ -14,7 +14,7 @@ outstanding tasks and reschedules the earliest completion.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Generator, Optional
+from typing import Callable, Dict, Generator, Optional
 
 from repro.sim.engine import Event, Interrupt, Simulator
 
@@ -46,6 +46,10 @@ class FairShareCPU:
         self._wakeup_token = 0
         self._busy_time = 0.0          # integrated core-seconds consumed
         self._last_busy_update = 0.0
+        #: Single-consumer hook: called with the new :attr:`load` after
+        #: every runnable-count change (cluster dispatch indices use it
+        #: to keep a load-keyed heap current without per-pick scans).
+        self.on_load_change: Optional[Callable[[int], None]] = None
 
     # -- public API ------------------------------------------------------------
 
@@ -59,6 +63,8 @@ class FairShareCPU:
         task_id = next(self._ids)
         self._tasks[task_id] = _ComputeTask(work, done, self.sim.now)
         self._reschedule()
+        if self.on_load_change is not None:
+            self.on_load_change(len(self._tasks))
         try:
             yield done
         except Interrupt:
@@ -68,6 +74,8 @@ class FairShareCPU:
                 self._advance_all()
                 self._tasks.pop(task_id)
                 self._reschedule()
+                if self.on_load_change is not None:
+                    self.on_load_change(len(self._tasks))
             raise
         return
 
@@ -136,6 +144,8 @@ class FairShareCPU:
             task = self._tasks.pop(tid)
             task.done.trigger()
         self._reschedule()
+        if finished and self.on_load_change is not None:
+            self.on_load_change(len(self._tasks))
 
 
 class VCPUQuota:

@@ -65,6 +65,17 @@ class SeededRNG:
 
     # -- bulk draws ------------------------------------------------------------
 
+    def exponentials(self, mean: float, size: int) -> np.ndarray:
+        """``size`` exponential draws at once (arrival-gap vectors)."""
+        return self._gen.exponential(mean, size=size)
+
+    def uniforms(self, lo: float, hi: float, size: int) -> np.ndarray:
+        return self._gen.uniform(lo, hi, size=size)
+
+    def integers_array(self, lo: int, hi: int, size: int) -> np.ndarray:
+        """``size`` integers in ``[lo, hi)`` at once."""
+        return self._gen.integers(lo, hi, size=size)
+
     def sample_pages(self, n_pages: int, count: int) -> np.ndarray:
         """Distinct page indices: ``count`` of ``n_pages`` without replacement."""
         count = min(count, n_pages)

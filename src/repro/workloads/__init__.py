@@ -16,6 +16,7 @@ from repro.workloads.functions import (
 from repro.workloads.synthetic import (
     ArrivalEvent,
     Workload,
+    make_scaleout_uniform,
     make_w1_bursty,
     make_w2_diurnal,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "function_by_name",
     "make_azure_workload",
     "make_huawei_workload",
+    "make_scaleout_uniform",
     "make_w1_bursty",
     "make_w2_diurnal",
 ]

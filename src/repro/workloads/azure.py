@@ -12,12 +12,19 @@ either uniformly in the minute or skewed into a burst window.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import List, Sequence
 
 from repro.mem.layout import GB
 from repro.sim.rng import SeededRNG
+from repro.workloads.cache import memoized
 from repro.workloads.functions import FUNCTIONS, FunctionProfile
 from repro.workloads.synthetic import ArrivalEvent, Workload
+
+#: (seed, function names, duration, rate, skew, zipf) -> sorted events.
+#: Synthesis is seeded-deterministic, so the memo only saves host time
+#: (repeated sweep shards re-request identical parameter tuples).
+_EVENTS_CACHE: "OrderedDict[tuple, List[ArrivalEvent]]" = OrderedDict()
 
 
 def make_azure_workload(seed: int = 0,
@@ -27,6 +34,18 @@ def make_azure_workload(seed: int = 0,
                         skew_probability: float = 0.3,
                         zipf_s: float = 1.1) -> Workload:
     """Azure-shaped workload: Zipf popularity + diurnal + minute bursts."""
+    key = (seed, tuple(f.name for f in functions), duration,
+           mean_rate_per_min, skew_probability, zipf_s)
+    events = memoized(
+        _EVENTS_CACHE, key,
+        lambda: _synthesise(seed, functions, duration, mean_rate_per_min,
+                            skew_probability, zipf_s))
+    return Workload(name="Azure", events=list(events), duration=duration,
+                    soft_cap_bytes=64 * GB)
+
+
+def _synthesise(seed, functions, duration, mean_rate_per_min,
+                skew_probability, zipf_s) -> List[ArrivalEvent]:
     rng = SeededRNG(seed, "azure")
     minutes = int(math.ceil(duration / 60.0))
     # Zipf popularity over the function suite.
@@ -56,5 +75,4 @@ def make_azure_workload(seed: int = 0,
                 if t < duration:
                     events.append(ArrivalEvent(t, func.name))
     events.sort()
-    return Workload(name="Azure", events=events, duration=duration,
-                    soft_cap_bytes=64 * GB)
+    return events

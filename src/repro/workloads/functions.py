@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro import optflags
 from repro.mem.layout import MB, pages_for_bytes
@@ -67,6 +67,10 @@ class FunctionProfile:
     runtime_shared_bytes: int = 38 * MB   # language runtime + common libs
     bootstrap_time: float = 0.8     # interpreter launch + imports (cold)
     file_io_bytes: int = 8 * MB     # rootfs file reads per invocation
+    #: Per-invocation input jitter applied to the base access trace.
+    #: 0.0 means every invocation replays the cached base trace exactly
+    #: (no per-invocation RNG fork) — used by micro benchmarking suites.
+    trace_jitter: float = 0.08
 
     @property
     def image_pages(self) -> int:
@@ -110,12 +114,15 @@ class FunctionProfile:
         return trace
 
     def make_trace(self, rng: SeededRNG, invocation: int = 0,
-                   jitter: float = 0.08) -> AccessTrace:
+                   jitter: Optional[float] = None) -> AccessTrace:
         """One invocation's trace: the base pattern with input jitter.
 
         Deterministic per (rng seed, function, invocation index) — the
         reproducibility discipline of §9.6's trace-replay methodology.
+        ``jitter`` defaults to the profile's :attr:`trace_jitter`.
         """
+        if jitter is None:
+            jitter = self.trace_jitter
         base = self.base_trace(rng)
         if jitter == 0.0:
             return base

@@ -10,12 +10,17 @@ base, then place invocations within each minute with heavy skew.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import List, Sequence
 
 from repro.mem.layout import GB
 from repro.sim.rng import SeededRNG
+from repro.workloads.cache import memoized
 from repro.workloads.functions import FUNCTIONS, FunctionProfile
 from repro.workloads.synthetic import ArrivalEvent, Workload
+
+#: (seed, function names, duration, rate, spike prob/shape) -> events.
+_EVENTS_CACHE: "OrderedDict[tuple, List[ArrivalEvent]]" = OrderedDict()
 
 
 def make_huawei_workload(seed: int = 0,
@@ -25,6 +30,18 @@ def make_huawei_workload(seed: int = 0,
                          spike_probability: float = 0.12,
                          spike_shape: float = 1.5) -> Workload:
     """Huawei-shaped workload: periodic base + rare violent spikes."""
+    key = (seed, tuple(f.name for f in functions), duration,
+           mean_rate_per_min, spike_probability, spike_shape)
+    events = memoized(
+        _EVENTS_CACHE, key,
+        lambda: _synthesise(seed, functions, duration, mean_rate_per_min,
+                            spike_probability, spike_shape))
+    return Workload(name="Huawei", events=list(events), duration=duration,
+                    soft_cap_bytes=64 * GB)
+
+
+def _synthesise(seed, functions, duration, mean_rate_per_min,
+                spike_probability, spike_shape) -> List[ArrivalEvent]:
     rng = SeededRNG(seed, "huawei")
     minutes = int(math.ceil(duration / 60.0))
     events: List[ArrivalEvent] = []
@@ -55,5 +72,4 @@ def make_huawei_workload(seed: int = 0,
                 if t < duration:
                     events.append(ArrivalEvent(t, func.name))
     events.sort()
-    return Workload(name="Huawei", events=events, duration=duration,
-                    soft_cap_bytes=64 * GB)
+    return events

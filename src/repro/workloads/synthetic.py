@@ -7,25 +7,30 @@ cycling through functions under a tight (32 GB) memory cap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import math
+
+import numpy as np
 
 from repro.mem.layout import GB
 from repro.sim.rng import SeededRNG
 from repro.workloads.functions import FUNCTIONS, FunctionProfile
 
 
-@dataclass(frozen=True)
-class ArrivalEvent:
-    """One invocation request: when, and of which function."""
+class ArrivalEvent(NamedTuple):
+    """One invocation request: when, and of which function.
+
+    A named tuple rather than a (frozen) dataclass: trace-scale
+    schedules construct hundreds of thousands of these, and tuple
+    construction skips the per-field ``object.__setattr__`` a frozen
+    dataclass pays.  Ordering/equality are the tuple's
+    ``(time, function)`` — exactly the tie order scheduling relies on.
+    """
 
     time: float
     function: str
-
-    def __lt__(self, other: "ArrivalEvent") -> bool:
-        return (self.time, self.function) < (other.time, other.function)
 
 
 @dataclass
@@ -45,6 +50,52 @@ class Workload:
 
     def functions_used(self) -> List[str]:
         return sorted({e.function for e in self.events})
+
+    def times(self) -> np.ndarray:
+        """Arrival times as a sorted float array (cached per event list)."""
+        cached = getattr(self, "_times_cache", None)
+        if cached is None or cached.size != len(self.events):
+            cached = np.fromiter((e.time for e in self.events),
+                                 dtype=float, count=len(self.events))
+            self._times_cache = cached
+        return cached
+
+    @classmethod
+    def from_arrays(cls, name: str, times: np.ndarray,
+                    function_names: Sequence[str], duration: float,
+                    codes: Optional[np.ndarray] = None,
+                    **kwargs) -> "Workload":
+        """Build a workload from precomputed parallel arrays.
+
+        ``times`` need not be sorted: a lexsort orders by
+        ``(time, function)`` — the tie order :meth:`validate` expects —
+        so the events are built directly in final order, with no
+        comparison-based sort over event objects.
+
+        ``codes``, if given, are precomputed lexicographic-rank integer
+        codes for ``function_names`` (``codes[i] < codes[j]`` iff
+        ``function_names[i] < function_names[j]``), skipping the
+        per-element factorisation.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size != len(function_names):
+            raise ValueError("times and function_names length mismatch")
+        if codes is None:
+            # Factorise names to their lexicographic rank so the
+            # tie-break lexsort is numeric (string-keyed lexsort is far
+            # slower).
+            rank = {n: i for i, n in enumerate(sorted(set(function_names)))}
+            codes = np.fromiter((rank[n] for n in function_names),
+                                dtype=np.int64, count=times.size)
+        order = np.lexsort((codes, times))
+        # Bulk-convert once (per-element numpy indexing/float() is
+        # slow); _make over a zip keeps event construction in C.
+        sorted_times = times[order].tolist()
+        order_list = order.tolist()
+        events = list(map(ArrivalEvent._make,
+                          zip(sorted_times,
+                              (function_names[i] for i in order_list))))
+        return cls(name=name, events=events, duration=duration, **kwargs)
 
     def validate(self) -> None:
         if any(e.time < 0 or e.time > self.duration for e in self.events):
@@ -128,3 +179,46 @@ def make_w2_diurnal(seed: int = 0,
     events.sort()
     return Workload(name="W2", events=events, duration=duration,
                     soft_cap_bytes=soft_cap_bytes, keep_alive=keep_alive)
+
+
+def make_scaleout_uniform(seed: int = 0,
+                          functions: Sequence[FunctionProfile] = FUNCTIONS,
+                          duration: float = 600.0,
+                          rate: float = 200.0,
+                          keep_alive: float = 600.0,
+                          quantum: float = 0.0) -> Workload:
+    """Uniform-rate Poisson arrivals for throughput benchmarking.
+
+    The schedule is synthesised fully vectorised — bulk exponential
+    gaps, a cumulative sum, and one bulk function draw — so building a
+    100k+-invocation schedule costs milliseconds, not a Python loop per
+    arrival.  Used by the cluster-scale perf section and the sweep
+    runner (10 nodes x 100k invocations), where schedule construction
+    would otherwise rival simulation time.
+
+    ``quantum`` > 0 snaps arrival times to a grid, mimicking the
+    coarse timestamp resolution of the public traces (Azure records
+    per-minute counts); quantised schedules have many same-tick
+    arrivals, the case the calendar-queue scheduler batches.
+    """
+    rng = SeededRNG(seed, "scaleout")
+    mean_gap = 1.0 / rate
+    chunk = int(rate * duration * 1.1) + 64
+    times = np.cumsum(rng.exponentials(mean_gap, chunk))
+    while times.size == 0 or times[-1] < duration:
+        more = np.cumsum(rng.exponentials(mean_gap, chunk))
+        times = np.concatenate([times, (times[-1] if times.size else 0.0)
+                                + more])
+    times = times[times < duration]
+    if quantum > 0.0:
+        times = np.floor(times / quantum) * quantum
+    picks = rng.integers_array(0, len(functions), times.size)
+    suite_names = [f.name for f in functions]
+    names = [suite_names[i] for i in picks.tolist()]
+    # Lexicographic rank per suite index (double argsort), vectorised
+    # over the picks — from_arrays then skips its per-name ranking.
+    rank = np.argsort(np.argsort(suite_names))
+    return Workload.from_arrays("scaleout", times, names, duration,
+                                codes=rank[picks],
+                                soft_cap_bytes=None,
+                                keep_alive=keep_alive)

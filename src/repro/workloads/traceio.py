@@ -16,21 +16,40 @@ onto the Table-4 suite round-robin by popularity rank.
 from __future__ import annotations
 
 import csv
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.mem.layout import GB
 from repro.sim.rng import SeededRNG
+from repro.workloads.cache import memoized
 from repro.workloads.functions import FUNCTIONS, FunctionProfile
 from repro.workloads.synthetic import ArrivalEvent, Workload
 
 #: minute index -> {trace function name -> invocation count}
 CountMatrix = Dict[int, Dict[str, int]]
 
+#: (resolved path, mtime_ns, size) -> parsed count matrix.  The file
+#: signature invalidates the entry when the trace is rewritten; callers
+#: get a per-minute copy so mutating a result cannot poison the cache.
+_COUNTS_CACHE: "OrderedDict[tuple, CountMatrix]" = OrderedDict()
+
 
 def load_counts_csv(path) -> CountMatrix:
-    """Parse a trace CSV in wide (Azure) or long (Huawei) layout."""
+    """Parse a trace CSV in wide (Azure) or long (Huawei) layout.
+
+    Parses are memoised by (path, mtime, size): sweep shards replaying
+    the same trace at different seeds pay for one parse, not one per
+    configuration (:data:`repro.optflags.trace_cache`).
+    """
     path = Path(path)
+    stat = path.stat()
+    key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+    counts = memoized(_COUNTS_CACHE, key, lambda: _parse_counts_csv(path))
+    return {minute: dict(per_min) for minute, per_min in counts.items()}
+
+
+def _parse_counts_csv(path: Path) -> CountMatrix:
     with path.open(newline="") as fh:
         rows = list(csv.reader(fh))
     if not rows or len(rows) < 2:

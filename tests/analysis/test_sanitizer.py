@@ -128,7 +128,9 @@ class _FinishedTask:
 
 
 def test_event_monotonicity_detected():
-    sim = Simulator()
+    from repro import optflags
+    with optflags.disabled("timer_wheel"):
+        sim = Simulator()     # reference scheduler: raw heap in sim._queue
 
     def proc():
         yield Delay(1.0)

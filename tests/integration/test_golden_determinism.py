@@ -56,6 +56,75 @@ def test_w2_repeat_is_bit_identical(platform):
     assert run_w2_slice(platform) == run_w2_slice(platform)
 
 
+#: The scale-out flags added for the trace-scale hot paths; each must
+#: individually leave simulated results bit-identical.
+SCALE_FLAGS = ("timer_wheel", "dispatch_index", "stream_metrics",
+               "batch_arrivals")
+
+
+@pytest.mark.parametrize("flag", SCALE_FLAGS)
+def test_each_scale_flag_is_bit_identical(flag):
+    """Toggling any single scale-out flag never changes results.
+
+    The all-on/all-off test above can mask a pair of flags whose bugs
+    cancel; this one isolates each flag against the otherwise-optimised
+    configuration.
+    """
+    optimized = run_w2_slice("t-cxl")
+    with optflags.disabled(flag):
+        toggled = run_w2_slice("t-cxl")
+    assert optimized[0], "W2 slice produced no invocations"
+    assert optimized == toggled
+
+
+def _cluster_stream(seed, flag_ctx=None):
+    from repro.mem.pools import CXLPool
+    from repro.serverless.cluster import make_trenv_cluster
+
+    cluster = make_trenv_cluster(3, CXLPool(128 * GB), seed=seed)
+    wl = make_w2_diurnal(seed=seed, duration=150.0, mean_rate=1.6)
+    result = cluster.run_workload(wl)
+    return ([(r.function, r.arrival, r.start_kind, r.e2e)
+             for r in result.recorder.results],
+            dict(result.dispatch_counts))
+
+
+@pytest.mark.parametrize("flag", ["dispatch_index", "batch_arrivals"])
+def test_cluster_scale_flags_bit_identical(flag):
+    """Cluster-level streams agree with each scale flag off."""
+    optimized = _cluster_stream(seed=3)
+    with optflags.disabled(flag):
+        toggled = _cluster_stream(seed=3)
+    assert optimized[0]
+    assert optimized == toggled
+
+
+def test_sweep_parallel_is_bit_identical_to_serial():
+    """Sweep shards agree bit-for-bit across pool sizes.
+
+    ``jobs=1`` runs the shards serially in-process (the reference
+    ordering); ``jobs=2`` fans them over a multiprocessing pool.  The
+    ``results`` blocks must match exactly — only the ``host`` timing
+    key may differ, and ``run_sweep`` already excludes it from the
+    shard payloads.
+    """
+    from repro.bench.sweep import SweepConfig, run_sweep
+
+    grid = [
+        SweepConfig(seed=1, policy="warm-affinity", n_nodes=2,
+                    trace="W2", duration=90.0),
+        SweepConfig(seed=2, policy="least-loaded", n_nodes=2,
+                    trace="scaleout", duration=30.0, rate=20.0),
+        SweepConfig(seed=3, policy="round-robin", n_nodes=3,
+                    trace="W2", duration=90.0),
+    ]
+    serial = run_sweep(grid, jobs=1, out_path=None)
+    fanned = run_sweep(grid, jobs=2, out_path=None)
+    assert serial["n_configs"] == 3
+    assert list(serial["shards"]) == sorted(serial["shards"])
+    assert serial["shards"] == fanned["shards"]
+
+
 def test_w2_cluster_dispatch_counts_deterministic():
     """Cluster results expose dispatch counts in sorted-key order."""
     from repro.mem.layout import GB as _GB
