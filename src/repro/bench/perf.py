@@ -574,6 +574,69 @@ def bench_cluster_scale(n_nodes: int = 10, invocations: int = 100_000,
     }
 
 
+# ------------------------------------------------------------ obs overhead --
+
+def bench_obs_overhead(quick: bool = False, seed: int = 5) -> Dict:
+    """Wall-clock cost of repro.obs at each level on a rack-scale run.
+
+    Four timed runs of the same scenario: a baseline with no observer
+    installed, a second un-observed run (their ratio bounds repeat-run
+    noise — the "< 2% when off" acceptance check, since obs-off code is
+    just the never-taken ``hooks.active is not None`` branches), then
+    ``metrics`` and ``spans``.  Simulated results are asserted identical
+    across all four.
+    """
+    from repro.obs.observer import observed
+
+    if quick:
+        n_nodes, invocations, repeats = 2, 2_000, 1
+    else:
+        n_nodes, invocations, repeats = 4, 8_000, 3
+    suite = micro_suite(8)
+    duration = 120.0
+    rate = invocations / duration
+    workload = make_scaleout_uniform(seed=seed, functions=suite,
+                                     duration=duration, rate=rate,
+                                     quantum=0.05)
+
+    checks: List = []
+
+    def run_at(level: str) -> Dict:
+        with observed(level):
+            out = _run_cluster_scale(workload, suite, n_nodes, seed,
+                                     stream_only=True)
+        checks.append((out["invocations"], out["dispatch_counts"]))
+        return out
+
+    # Warm discard run: imports, trace caches, allocator warm-up.
+    run_at("off")
+    checks.clear()
+
+    baseline_s = _best_s(lambda: run_at("off"), repeats)
+    off_s = _best_s(lambda: run_at("off"), repeats)
+    metrics_s = _best_s(lambda: run_at("metrics"), repeats)
+    spans_s = _best_s(lambda: run_at("spans"), repeats)
+    if len(set(map(str, checks))) != 1:
+        raise RuntimeError("obs-overhead bench: simulated results diverged "
+                           "across observability levels")
+
+    def pct(a: float, b: float) -> float:
+        return max(0.0, (a / b - 1.0) * 100.0) if b > 0 else 0.0
+
+    return {
+        "n_nodes": n_nodes,
+        "scheduled_invocations": len(workload.events),
+        "repeats": repeats,
+        "baseline_s": baseline_s,
+        "off_s": off_s,
+        "metrics_s": metrics_s,
+        "spans_s": spans_s,
+        "off_overhead_pct": pct(off_s, baseline_s),
+        "metrics_overhead_pct": pct(metrics_s, off_s),
+        "spans_overhead_pct": pct(spans_s, off_s),
+    }
+
+
 # --------------------------------------------------------------------- rss --
 
 def peak_rss_mb() -> float:
@@ -599,6 +662,7 @@ def run_perf(quick: bool = False,
         "throughput": bench_throughput(duration=duration,
                                        platforms=platforms),
         "cluster_scale": bench_cluster_scale(quick=quick),
+        "obs_overhead": bench_obs_overhead(quick=quick),
         "peak_rss_mb": peak_rss_mb(),
     }
     if out_path:

@@ -111,13 +111,17 @@ def _make_workload(config: SweepConfig):
         f"unknown trace {config.trace!r}; known: {TRACE_NAMES}")
 
 
-def run_config(config: SweepConfig) -> Dict:
+def run_config(config: SweepConfig, obs_level: str = "off") -> Dict:
     """One shard: build a cluster from the config, run it, summarise.
 
     The ``results`` block is a pure function of ``config``; ``host``
     carries wall-clock only and is excluded from determinism checks.
+    With ``obs_level != "off"`` a fresh observer runs for the shard and
+    its registry is serialised under ``obs`` — registry merge is
+    associative, so the parent's merged totals equal a serial run's.
     """
     from repro.mem.pools import CXLPool
+    from repro.obs.observer import observed
     from repro.serverless.cluster import make_trenv_cluster
 
     t0 = time.perf_counter()
@@ -125,10 +129,11 @@ def run_config(config: SweepConfig) -> Dict:
     cluster = make_trenv_cluster(config.n_nodes, CXLPool(128 * GB),
                                  seed=config.seed,
                                  policy=_make_policy(config.policy))
-    result = cluster.run_workload(workload)
+    with observed(obs_level) as obs:
+        result = cluster.run_workload(workload)
     wall = time.perf_counter() - t0
     recorder = result.recorder
-    return {
+    report = {
         "id": config.config_id,
         "config": dict(sorted(asdict(config).items())),
         "results": {
@@ -145,16 +150,23 @@ def run_config(config: SweepConfig) -> Dict:
         },
         "host": {"wall_s": wall},
     }
+    if obs is not None:
+        report["obs"] = obs.registry.to_dict()
+    return report
 
 
 def run_sweep(configs: Optional[Sequence[SweepConfig]] = None,
               jobs: int = 0, quick: bool = False,
-              out_path: Optional[str] = "BENCH_sweep.json") -> Dict:
+              out_path: Optional[str] = "BENCH_sweep.json",
+              obs_level: str = "off") -> Dict:
     """Fan ``configs`` over a process pool; merge into one report.
 
     ``jobs=0`` sizes the pool to the CPU count (capped by the shard
     count); ``jobs=1`` runs serially in-process, which the determinism
-    test uses as the reference ordering.
+    test uses as the reference ordering.  With ``obs_level != "off"``
+    each shard observes itself and the per-shard registries are merged
+    (in sorted shard-id order) under the report's ``obs`` key; merge is
+    associative, so parallel totals equal a serial run's.
     """
     shards = list(configs) if configs is not None else default_grid(quick)
     ids = [c.config_id for c in shards]
@@ -162,12 +174,13 @@ def run_sweep(configs: Optional[Sequence[SweepConfig]] = None,
         raise ValueError("sweep grid has duplicate config ids")
     t0 = time.perf_counter()
     if jobs == 1 or len(shards) <= 1:
-        reports = [run_config(c) for c in shards]
+        reports = [run_config(c, obs_level=obs_level) for c in shards]
     else:
         n = jobs if jobs > 0 else (multiprocessing.cpu_count() or 1)
         n = max(1, min(n, len(shards)))
         with multiprocessing.Pool(n) as pool:
-            reports = pool.map(run_config, shards)
+            reports = pool.starmap(run_config,
+                                   [(c, obs_level) for c in shards])
     wall = time.perf_counter() - t0
     merged = {
         "schema": "trenv-repro-sweep/1",
@@ -183,6 +196,16 @@ def run_sweep(configs: Optional[Sequence[SweepConfig]] = None,
                                                  key=lambda r: r["id"])},
         },
     }
+    if obs_level != "off":
+        from repro.obs.registry import MetricsRegistry
+        combined = MetricsRegistry()
+        for r in sorted(reports, key=lambda r: r["id"]):
+            combined.merge_from(MetricsRegistry.from_dict(r["obs"]))
+        merged["obs"] = {
+            "level": obs_level,
+            "registry": combined.to_dict(),
+            "totals": combined.totals(),
+        }
     if out_path:
         with open(out_path, "w") as fh:
             json.dump(merged, fh, indent=2, sort_keys=True)

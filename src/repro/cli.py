@@ -115,6 +115,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit raw JSON instead of pretty print")
     sweep.add_argument("--profile", action="store_true",
                        help="cProfile the run; print top-25 by cumulative")
+    sweep.add_argument("--obs-level", default="off",
+                       choices=("off", "metrics", "spans"),
+                       help="per-shard observability; shard registries "
+                            "are merged into the sweep report")
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario under repro.obs and export a Perfetto trace")
+    trace.add_argument("scenario", choices=("w1", "w2", "cluster"),
+                       help="what to trace: single-node W1/W2, or the "
+                            "3-node rack on W2")
+    trace.add_argument("--obs-level", default="spans",
+                       choices=("off", "metrics", "spans"),
+                       help="off = timing reference, metrics = registry "
+                            "only, spans = registry + Chrome trace")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome-trace output path (default: "
+                            "trace.json; load it in ui.perfetto.dev)")
+    trace.add_argument("--platform", default="t-cxl",
+                       help="platform key for w1/w2 (default: t-cxl)")
+    trace.add_argument("--duration", type=float, default=60.0)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--nodes", type=int, default=3,
+                       help="rack size for the cluster scenario")
+    trace.add_argument("--json", action="store_true",
+                       help="emit raw JSON instead of pretty print")
     for name in EXPERIMENTS:
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--workload", default="W1", choices=("W1", "W2"))
@@ -156,6 +181,7 @@ def main(argv=None) -> int:
             print(name)
         print("perf")
         print("sweep")
+        print("trace")
         print("lint")
         return 0
     if args.command == "perf":
@@ -164,7 +190,14 @@ def main(argv=None) -> int:
     elif args.command == "sweep":
         from repro.bench.sweep import run_sweep
         runner = lambda: run_sweep(jobs=args.jobs, quick=args.quick,
-                                   out_path=args.out)
+                                   out_path=args.out,
+                                   obs_level=args.obs_level)
+    elif args.command == "trace":
+        from repro.obs.capture import run_traced_scenario
+        runner = lambda: run_traced_scenario(
+            args.scenario, level=args.obs_level, out=args.out,
+            platform=args.platform, duration=args.duration,
+            seed=args.seed, nodes=args.nodes)
     else:
         runner = lambda: EXPERIMENTS[args.command](args)
     if getattr(args, "profile", False):

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis import hooks
 from repro.criu.images import SnapshotImage
+from repro.obs import hooks as obs_hooks
 from repro.mem.address_space import (MAP_PRIVATE, AddressSpace, VMA)
 from repro.mem.pools import DedupStore, MemoryPool, PoolBlock
 from repro.sim.engine import Delay, Simulator
@@ -135,7 +136,7 @@ class MMTemplateRegistry:
             hooks.active.on_pte_bound(vma)
 
     def mmt_attach(self, template: MemoryTemplate, space: AddressSpace,
-                   as_root: bool = True) -> Generator:
+                   as_root: bool = True, ctx=None) -> Generator:
         """Timed: attach the template to a process's address space.
 
         Copies *metadata only* — page tables and VMA descriptors — never
@@ -150,6 +151,7 @@ class MMTemplateRegistry:
         deliberately unchanged by that flag.
         """
         self._check_root(as_root)
+        t0 = self.sim.now
         lat = self.latency.mem
         cost = (lat.mmt_attach_base
                 + lat.mmt_attach_per_vma * len(template.vmas)
@@ -159,6 +161,9 @@ class MMTemplateRegistry:
             space.adopt_vma(vma.clone_metadata())
         template.attach_count += 1
         template.sealed = True
+        act = obs_hooks.active
+        if act is not None:
+            act.on_mmt_attach(template, t0, self.sim.now, ctx)
 
     # -- internals --------------------------------------------------------------
 

@@ -89,11 +89,12 @@ class TrEnvPlatform(ServerlessPlatform):
 
     # -- acquisition (§7 scheduling policy) ---------------------------------------------
 
-    def _acquire(self, profile: FunctionProfile) -> Generator:
+    def _acquire(self, profile: FunctionProfile, ctx=None) -> Generator:
         if self.config.reconfig:
             sandbox = self.sandbox_pool.take()
             if sandbox is not None:
-                proc, degraded = yield self._do_repurpose(sandbox, profile)
+                proc, degraded = yield self._do_repurpose(sandbox, profile,
+                                                          ctx)
                 inst = Instance(profile, proc.address_space, payload=sandbox)
                 inst.degraded_start = degraded
                 return inst, "repurposed"
@@ -103,18 +104,19 @@ class TrEnvPlatform(ServerlessPlatform):
                 sandbox = victim.payload
                 victim.retired = True
                 yield self.repurposer.cleanse(sandbox)
-                proc, degraded = yield self._do_repurpose(sandbox, profile)
+                proc, degraded = yield self._do_repurpose(sandbox, profile,
+                                                          ctx)
                 inst = Instance(profile, proc.address_space, payload=sandbox)
                 inst.degraded_start = degraded
                 return inst, "repurposed"
-        inst = yield self._cold_start(profile)
+        inst = yield self._cold_start(profile, ctx)
         return inst, "cold"
 
     def _do_repurpose(self, sandbox: ContainerSandbox,
-                      profile: FunctionProfile) -> Generator:
+                      profile: FunctionProfile, ctx=None) -> Generator:
         template, degraded = self._usable_template(profile)
         proc = yield self.repurposer.repurpose(
-            sandbox, profile, self.images[profile.name], template)
+            sandbox, profile, self.images[profile.name], template, ctx=ctx)
         return proc, degraded
 
     def _usable_template(self, profile: FunctionProfile
@@ -131,7 +133,7 @@ class TrEnvPlatform(ServerlessPlatform):
             return None, True
         return template, False
 
-    def _cold_start(self, profile: FunctionProfile) -> Generator:
+    def _cold_start(self, profile: FunctionProfile, ctx=None) -> Generator:
         """Sandbox built from scratch; memory still via template/restore."""
         node = self.node
         sandbox = yield self.runtime.create_sandbox_cold(
@@ -146,12 +148,12 @@ class TrEnvPlatform(ServerlessPlatform):
             proc = yield node.procs.spawn(
                 profile.name, address_space=space, cgroup=sandbox.cgroup,
                 into_cgroup=self.config.clone_into_cgroup)
-            yield node.criu.restore_process_state(proc, image)
-            yield self.registry.mmt_attach(template, space)
+            yield node.criu.restore_process_state(proc, image, ctx=ctx)
+            yield self.registry.mmt_attach(template, space, ctx=ctx)
         else:
             proc = yield node.criu.restore_full(
                 image, f"{profile.name}@{sandbox.sandbox_id}",
-                on_local_delta=hook)
+                on_local_delta=hook, ctx=ctx)
         sandbox.processes.append(proc)
         sandbox.function = profile.name
         inst = Instance(profile, proc.address_space, payload=sandbox)
@@ -179,7 +181,8 @@ class TrEnvPlatform(ServerlessPlatform):
         hook = old_space.on_local_delta
         old_space.destroy()
         fresh = AddressSpace(old_space.name, on_local_delta=hook)
-        yield self.registry.mmt_attach(self.templates[inst.function], fresh)
+        yield self.registry.mmt_attach(self.templates[inst.function], fresh,
+                                       ctx=inst.obs_ctx)
         inst.space = fresh
         # Keep the process view coherent: swap the AS on the live proc.
         sandbox: ContainerSandbox = inst.payload

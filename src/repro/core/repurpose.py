@@ -125,8 +125,8 @@ class Repurposer:
     def repurpose(self, sandbox: ContainerSandbox, profile: FunctionProfile,
                   image: SnapshotImage,
                   template: Optional[MemoryTemplate],
-                  limits: Optional[CgroupLimits] = None
-                  ) -> Generator:
+                  limits: Optional[CgroupLimits] = None,
+                  ctx=None) -> Generator:
         """Timed: turn a pooled sandbox into a live instance of ``profile``.
 
         With ``config.mm_template`` the memory state arrives via
@@ -153,9 +153,9 @@ class Repurposer:
             proc = yield node.procs.spawn(
                 profile.name, address_space=space, cgroup=sandbox.cgroup,
                 into_cgroup=config.clone_into_cgroup)
-            yield node.criu.restore_process_state(proc, image)
+            yield node.criu.restore_process_state(proc, image, ctx=ctx)
             # B4: attach the memory template (metadata-only copy).
-            yield self.registry.mmt_attach(template, space)
+            yield self.registry.mmt_attach(template, space, ctx=ctx)
         else:
             # Copy-based restore inside the reused sandbox.
             yield Delay(node.latency.mem.mmap_syscall * len(image.vmas))
@@ -168,7 +168,7 @@ class Repurposer:
             proc = yield node.procs.spawn(
                 profile.name, address_space=space, cgroup=sandbox.cgroup,
                 into_cgroup=config.clone_into_cgroup)
-            yield node.criu.restore_process_state(proc, image)
+            yield node.criu.restore_process_state(proc, image, ctx=ctx)
         sandbox.processes.append(proc)
         sandbox.function = profile.name
         sandbox.generation += 1

@@ -15,6 +15,7 @@ from typing import Generator, Optional
 
 from repro.criu.images import SnapshotImage
 from repro.kernel.process import Process, ProcessTable
+from repro.obs import hooks as obs_hooks
 from repro.sim.engine import Delay, Simulator
 from repro.sim.latency import LatencyModel
 
@@ -60,12 +61,14 @@ class CRIUEngine:
     # -- online restoration --------------------------------------------------------
 
     def restore_full(self, image: SnapshotImage, name: str = "",
-                     on_local_delta=None) -> Generator:
+                     on_local_delta=None, ctx=None) -> Generator:
         """Timed: classic restore — mmap storm + full memory copy.
 
         Returns the restored :class:`Process` with every image page
-        resident in local DRAM.
+        resident in local DRAM.  ``ctx`` is the observing invocation's
+        TraceContext (or None).
         """
+        t0 = self.sim.now
         lat = self.latency
         space = image.build_address_space(name or image.function,
                                           on_local_delta=on_local_delta)
@@ -82,13 +85,17 @@ class CRIUEngine:
         # Step 3: restore the process shell, threads, fds, sockets.
         proc = yield self.procs.spawn(name or image.function,
                                       address_space=space)
-        yield self.restore_process_state(proc, image)
+        yield self.restore_process_state(proc, image, ctx=ctx)
         self.stats.full_restores += 1
+        act = obs_hooks.active
+        if act is not None:
+            act.on_criu_restore(image, t0, self.sim.now, ctx)
         return proc
 
-    def restore_process_state(self, proc: Process, image: SnapshotImage
-                              ) -> Generator:
+    def restore_process_state(self, proc: Process, image: SnapshotImage,
+                              ctx=None) -> Generator:
         """Timed: the non-memory state CRIU recovers (Table 1 "Other")."""
+        t0 = self.sim.now
         lat = self.latency
         misc = (lat.proc.criu_misc_base
                 + lat.proc.criu_misc_per_thread * (image.n_threads - 1)
@@ -98,3 +105,6 @@ class CRIUEngine:
         for i in range(image.n_fds):
             proc.open_fd(f"restored-fd-{i}")
         self.stats.threads_restored += image.n_threads - 1
+        act = obs_hooks.active
+        if act is not None:
+            act.on_proc_state_restore(image, t0, self.sim.now, ctx)

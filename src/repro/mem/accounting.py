@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis import hooks
 from repro.mem.layout import MB, PAGE_SIZE
+from repro.obs import hooks as obs_hooks
 
 
 class MemoryAccountant:
@@ -51,6 +52,12 @@ class MemoryAccountant:
         self._sample(now)
         if hooks.active is not None:
             hooks.active.on_accountant_charge(self, category, delta_bytes)
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_mem_charge(category, delta_bytes)
+
+    def now(self) -> float:
+        """The accountant's notion of current (virtual) time."""
+        return self._clock()
 
     def charge_pages(self, category: str, delta_pages: int) -> None:
         self.charge(category, delta_pages * PAGE_SIZE)

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.analysis import hooks
 from repro.mem.layout import PAGE_SIZE, pages_for_bytes
+from repro.obs import hooks as obs_hooks
 
 
 class PageCache:
@@ -53,6 +54,8 @@ class PageCache:
             self.on_delta(fresh)
         if fresh and hooks.active is not None:
             hooks.active.on_page_cache_delta(self, fresh)
+        if fresh and obs_hooks.active is not None:
+            obs_hooks.active.on_page_cache_delta(self, fresh)
         return fresh
 
     def evict_file(self, file_id: int) -> int:
@@ -64,6 +67,8 @@ class PageCache:
             self.on_delta(-len(victims))
         if hooks.active is not None:
             hooks.active.on_page_cache_delta(self, -len(victims))
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_page_cache_delta(self, -len(victims))
         return len(victims)
 
     def drop_all(self) -> int:
@@ -74,6 +79,8 @@ class PageCache:
             self.on_delta(-freed)
         if freed and hooks.active is not None:
             hooks.active.on_page_cache_delta(self, -freed)
+        if freed and obs_hooks.active is not None:
+            obs_hooks.active.on_page_cache_delta(self, -freed)
         return freed
 
     @property

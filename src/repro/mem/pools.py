@@ -30,6 +30,7 @@ import numpy as np
 from repro.analysis import hooks
 from repro.faults.errors import (PoolExhaustedError, PoolTimeoutError,
                                  PoolUnavailableError)
+from repro.obs import hooks as obs_hooks
 from repro.mem.layout import PAGE_SIZE
 from repro.sim.latency import LatencyModel
 
@@ -142,6 +143,8 @@ class MemoryPool:
         self._stored_pages += npages
         if hooks.active is not None:
             hooks.active.on_pool_alloc(self, npages)
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_pool_alloc(self, npages)
         return np.arange(base, base + npages, dtype=np.int64)
 
     @property
@@ -168,6 +171,8 @@ class MemoryPool:
         t = self._fetch_time(npages, concurrency)
         if self.degrade_factor != 1.0:
             t *= self.degrade_factor
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_pool_fetch(self, npages, t)
         return t
 
     def read_overhead(self, nloads: int) -> float:
@@ -176,6 +181,8 @@ class MemoryPool:
         t = self._read_overhead(nloads)
         if self.degrade_factor != 1.0:
             t *= self.degrade_factor
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_pool_read(self, nloads)
         return t
 
     def _fetch_time(self, npages: int, concurrency: int = 1) -> float:
@@ -320,6 +327,8 @@ class TieredPool(MemoryPool):
         self._stored_pages += npages
         if hooks.active is not None:
             hooks.active.on_pool_alloc(self, npages)
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_pool_alloc(self, npages)
         return out
 
     def split_offsets(self, offsets: np.ndarray):

@@ -1,0 +1,85 @@
+"""Run a scenario under observability and export its artifacts.
+
+Backs ``python -m repro.cli trace <scenario>``: builds the scenario
+world, installs an observer at the requested level, runs the workload on
+the virtual clock, and exports whatever the level produced — a Chrome
+trace (Perfetto-loadable, ``--out``), the metric totals, and the
+paper-style per-phase breakdown table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mem.layout import GB
+from repro.obs.export import phase_breakdown, phase_table, write_chrome_trace
+from repro.obs.observer import observed
+
+#: Scenarios the trace subcommand can replay.
+TRACE_SCENARIOS = ("w1", "w2", "cluster")
+
+
+def _run_scenario(scenario: str, platform: str, duration: float,
+                  seed: int, nodes: int):
+    """Build + run one scenario; returns (recorder, label)."""
+    from repro.bench.harness import run_platform_workload
+    from repro.workloads.synthetic import make_w1_bursty, make_w2_diurnal
+
+    if scenario == "w1":
+        workload = make_w1_bursty(seed=seed, duration=duration)
+        result = run_platform_workload(platform, workload, seed=seed)
+        return result.recorder, f"{platform}/W1"
+    if scenario == "w2":
+        workload = make_w2_diurnal(seed=seed, duration=duration,
+                                   mean_rate=1.6, soft_cap_bytes=5 * GB)
+        result = run_platform_workload(platform, workload, seed=seed)
+        return result.recorder, f"{platform}/W2"
+    if scenario == "cluster":
+        from repro.mem.pools import CXLPool
+        from repro.serverless.cluster import make_trenv_cluster
+        cluster = make_trenv_cluster(nodes, CXLPool(128 * GB), seed=seed)
+        workload = make_w2_diurnal(seed=seed, duration=duration,
+                                   mean_rate=1.6)
+        result = cluster.run_workload(workload)
+        return result.recorder, f"t-cxl-rack{nodes}/W2"
+    raise ValueError(
+        f"unknown trace scenario {scenario!r}; known: {TRACE_SCENARIOS}")
+
+
+def run_traced_scenario(scenario: str, level: str = "spans",
+                        out: Optional[str] = "trace.json",
+                        platform: str = "t-cxl", duration: float = 60.0,
+                        seed: int = 1, nodes: int = 3) -> Dict:
+    """Run ``scenario`` observed at ``level``; returns a JSON-safe report.
+
+    ``level="off"`` runs the scenario unobserved (useful as a timing
+    reference); no artifacts are produced then.
+    """
+    with observed(level) as obs:
+        recorder, label = _run_scenario(scenario, platform, duration,
+                                        seed, nodes)
+    report: Dict = {
+        "scenario": scenario,
+        "label": label,
+        "obs_level": level,
+        "duration_s": duration,
+        "seed": seed,
+        "invocations": recorder.count(),
+        "start_kinds": recorder.start_kind_counts(),
+    }
+    if obs is None:
+        return report
+    report["metrics_totals"] = obs.registry.totals()
+    if obs.tracer is not None:
+        report["n_spans"] = obs.tracer.n_spans
+        report["n_instants"] = obs.tracer.n_instants
+        report["phase_breakdown"] = phase_breakdown(obs.tracer)
+        report["phase_table"] = phase_table(obs.tracer)
+        if out:
+            n_events = write_chrome_trace(
+                obs.tracer, out,
+                metadata={"scenario": scenario, "label": label,
+                          "seed": seed, "duration_s": duration})
+            report["trace_path"] = str(out)
+            report["trace_events"] = n_events
+    return report

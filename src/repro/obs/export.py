@@ -1,0 +1,140 @@
+"""Exporters: Chrome-trace JSON (Perfetto), phase tables, Prometheus.
+
+Chrome Trace Event Format reference: ``ph:"X"`` complete events carry
+``ts``/``dur`` in **microseconds** — here *virtual* microseconds, so a
+Perfetto timeline of a run reads directly in simulated time.  ``ph:"M"``
+metadata names the process (track) and thread (lane) rows; ``ph:"i"``
+instants mark point events (faults, crashes, VM lifecycle).
+
+Every iteration below is over sorted keys (nodes, functions, metric
+names): export output is a deterministic function of the recorded data,
+never of dict insertion order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.trace import CONTROL_TID, SpanTracer
+
+
+def chrome_trace_events(tracer: SpanTracer) -> List[Dict]:
+    """The ``traceEvents`` list for one tracer, ready to serialize."""
+    events: List[Dict] = []
+    procs = tracer.processes()
+    # Metadata first, sorted by track name ("rack" got pid 0; nodes
+    # follow in name order because make_* helpers name them node0..N).
+    for name in sorted(procs, key=lambda n: (procs[n] != 0, n)):
+        pid = procs[name]
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": CONTROL_TID, "args": {"name": "events"}})
+        for tid in range(CONTROL_TID + 1, tracer.lane_count(pid) + 1):
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": f"lane-{tid}"}})
+    # Spans and instants in one stream, sorted by (ts, record order) so
+    # nested X events appear parent-first (Perfetto requires begin-sorted
+    # input for correct nesting on a tid).
+    timed = []
+    for i, (t0, t1, pid, tid, name, cat, trace_id, args) in \
+            enumerate(tracer.spans):
+        event = {"name": name, "cat": cat, "ph": "X",
+                 "ts": t0 * 1e6, "dur": (t1 - t0) * 1e6,
+                 "pid": pid, "tid": tid}
+        event_args = dict(args) if args else {}
+        if trace_id:
+            event_args["trace_id"] = trace_id
+        if event_args:
+            event["args"] = event_args
+        # Longer spans first at equal ts, so parents precede children.
+        timed.append((t0 * 1e6, -(t1 - t0), i, event))
+    for i, (t, pid, tid, name, args) in enumerate(tracer.instants):
+        event = {"name": name, "cat": "instant", "ph": "i",
+                 "ts": t * 1e6, "s": "t", "pid": pid, "tid": tid}
+        if args:
+            event["args"] = dict(args)
+        timed.append((t * 1e6, 0.0, len(tracer.spans) + i, event))
+    timed.sort(key=lambda entry: entry[:3])
+    events.extend(entry[3] for entry in timed)
+    return events
+
+
+def to_chrome_trace(tracer: SpanTracer,
+                    metadata: Optional[Dict] = None) -> Dict:
+    """A complete Perfetto-loadable JSON object."""
+    out = {"traceEvents": chrome_trace_events(tracer),
+           "displayTimeUnit": "ms"}
+    if metadata:
+        out["otherData"] = {k: metadata[k] for k in sorted(metadata)}
+    return out
+
+
+def write_chrome_trace(tracer: SpanTracer, path,
+                       metadata: Optional[Dict] = None) -> int:
+    """Write the trace JSON; returns the number of trace events."""
+    payload = to_chrome_trace(tracer, metadata=metadata)
+    Path(path).write_text(json.dumps(payload))
+    return len(payload["traceEvents"])
+
+
+# -- phase breakdown ----------------------------------------------------------
+
+#: Phase spans reported in the cold-start decomposition, in lifecycle
+#: order (everything else recorded under a trace_id still aggregates,
+#: appended in name order after these).
+PHASE_ORDER = ("queue", "dispatch", "warm_hit", "acquire", "criu_restore",
+               "proc_state_restore", "mmt_attach", "fault_replay", "exec",
+               "teardown")
+
+
+def phase_breakdown(tracer: SpanTracer) -> Dict[str, Dict[str, Dict]]:
+    """Per start-kind, per phase: count and mean/max duration (seconds).
+
+    This is the paper-style cold-start decomposition: root spans (cat
+    ``"invocation"``) carry the start kind; phase spans sharing the root's
+    ``trace_id`` are grouped under it.  Phases whose kind cannot be
+    resolved (e.g. an invocation interrupted by a crash before its root
+    span was emitted) land under ``"unknown"``.
+    """
+    kind_by_trace: Dict[int, str] = {}
+    for t0, t1, _pid, _tid, _name, cat, trace_id, args in tracer.spans:
+        if cat == "invocation" and trace_id:
+            kind_by_trace[trace_id] = (args or {}).get("kind", "unknown")
+    acc: Dict[str, Dict[str, List[float]]] = {}
+    for t0, t1, _pid, _tid, name, cat, trace_id, _args in tracer.spans:
+        if cat != "phase" or not trace_id:
+            continue
+        kind = kind_by_trace.get(trace_id, "unknown")
+        acc.setdefault(kind, {}).setdefault(name, []).append(t1 - t0)
+    out: Dict[str, Dict[str, Dict]] = {}
+    for kind in sorted(acc):
+        phases = acc[kind]
+        ordered = [p for p in PHASE_ORDER if p in phases]
+        ordered += sorted(set(phases) - set(PHASE_ORDER))
+        out[kind] = {}
+        for phase in ordered:
+            durations = phases[phase]
+            out[kind][phase] = {
+                "count": len(durations),
+                "mean_ms": sum(durations) / len(durations) * 1e3,
+                "max_ms": max(durations) * 1e3,
+            }
+    return out
+
+
+def phase_table(tracer: SpanTracer) -> str:
+    """The phase breakdown rendered as an aligned text table."""
+    breakdown = phase_breakdown(tracer)
+    lines = []
+    header = f"{'start kind':<12} {'phase':<20} {'count':>8} " \
+             f"{'mean ms':>10} {'max ms':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for kind in sorted(breakdown):
+        for phase, row in breakdown[kind].items():
+            lines.append(f"{kind:<12} {phase:<20} {row['count']:>8} "
+                         f"{row['mean_ms']:>10.3f} {row['max_ms']:>10.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Observability hook registry — deliberately dependency-free.
+
+Instrumented modules (pools, page caches, accounting, the serverless
+platforms, the fault injector) import this module and guard every hook
+call with::
+
+    if hooks.active is not None:
+        hooks.active.on_something(...)
+
+``active`` is ``None`` unless an :class:`repro.obs.observer.Observability`
+is installed, so the disabled path costs one global load and an ``is``
+check — host-side only, never simulated time.  This mirrors
+:mod:`repro.analysis.hooks` exactly (and for the same reason): keeping
+this module free of imports avoids cycles, because ``repro.mem`` and
+``repro.serverless`` may import it without pulling in the observer
+(which itself imports them).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observability
+
+#: The currently installed observer, or None (the common case).
+active: Optional["Observability"] = None
+
+
+def install(observer: "Observability") -> Optional["Observability"]:
+    """Install ``observer`` as the active one; returns the previous."""
+    global active
+    previous = active
+    active = observer
+    return previous
+
+
+def uninstall(previous: Optional["Observability"] = None) -> None:
+    """Remove the active observer, restoring ``previous`` (if any)."""
+    global active
+    active = previous

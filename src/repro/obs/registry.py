@@ -1,0 +1,209 @@
+"""Metrics registry: counters, gauges and log-histograms with labels.
+
+Reuses :class:`repro.serverless.metrics.LogHistogram` for distributions,
+so histogram memory is O(occupied bins) and merging is the associative
+bin-count addition the sweep runner needs: shard registries serialized
+with :meth:`MetricsRegistry.to_dict` in worker processes merge into one
+registry whose totals equal a serial run's exactly.
+
+Keys are ``(name, sorted label pairs)`` — label order never matters, and
+every exporter iterates keys in sorted order (the SIM003 discipline:
+nothing downstream may depend on insertion order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.serverless.metrics import (BINS_PER_DECADE, _LO_EXP,
+                                      LogHistogram)
+
+#: A fully-resolved metric key: (name, ((label, value), ...)) sorted.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> MetricKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def render_key(key: MetricKey) -> str:
+    """Prometheus-style rendering: ``name{a="x",b="y"}``."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _bin_upper_edge(idx: int) -> float:
+    return 10.0 ** (_LO_EXP + (idx + 1) / BINS_PER_DECADE)
+
+
+def _hist_to_dict(hist: LogHistogram) -> Dict:
+    hist._flush()
+    return {
+        "count": hist._count,
+        "total": hist.total,
+        "min": hist.vmin if hist._count else None,
+        "max": hist.vmax if hist._count else None,
+        "bins": [[idx, hist.counts[idx]] for idx in sorted(hist.counts)],
+        # Sorted: quantiles over the exact buffer are order-free, and a
+        # canonical serialization keeps merge associativity observable
+        # (A+B and B+A serialize identically).
+        "exact": (sorted(hist._exact) if hist._exact is not None else None),
+    }
+
+
+def _hist_from_dict(data: Dict) -> LogHistogram:
+    hist = LogHistogram()
+    hist._count = int(data["count"])
+    hist.total = float(data["total"])
+    if data["min"] is not None:
+        hist.vmin = float(data["min"])
+        hist.vmax = float(data["max"])
+    hist.counts = {int(idx): int(c) for idx, c in data["bins"]}
+    exact = data.get("exact")
+    hist._exact = list(exact) if exact is not None else None
+    return hist
+
+
+class MetricsRegistry:
+    """Counters / gauges / histograms, mergeable across sweep shards.
+
+    Merge semantics: counters and histograms **add** (associative and
+    commutative); gauges take the **max** — a shard gauge is a level
+    observed within that shard, and the only cross-shard reading that
+    stays meaningful without a shared clock is the peak.
+    """
+
+    def __init__(self):
+        self._counters: Dict[MetricKey, float] = {}
+        self._gauges: Dict[MetricKey, float] = {}
+        self._hists: Dict[MetricKey, LogHistogram] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self._gauges[_key(name, labels)] = value
+
+    def add_gauge(self, name: str, delta: float, **labels) -> None:
+        """Accumulate a level gauge (e.g. current bytes per category)."""
+        key = _key(name, labels)
+        self._gauges[key] = self._gauges.get(key, 0.0) + delta
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = _key(name, labels)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = LogHistogram()
+        hist.add(value)
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> float:
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge(self, name: str, **labels) -> float:
+        return self._gauges.get(_key(name, labels), 0.0)
+
+    def histogram(self, name: str, **labels) -> Optional[LogHistogram]:
+        return self._hists.get(_key(name, labels))
+
+    def totals(self) -> Dict[str, float]:
+        """Every counter, rendered and sorted — the merge-equality view."""
+        return {render_key(k): self._counters[k]
+                for k in sorted(self._counters)}
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._hists)
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        for key in sorted(other._counters):
+            self._counters[key] = (self._counters.get(key, 0.0)
+                                   + other._counters[key])
+        for key in sorted(other._gauges):
+            mine = self._gauges.get(key)
+            theirs = other._gauges[key]
+            self._gauges[key] = (theirs if mine is None
+                                 else max(mine, theirs))
+        for key in sorted(other._hists):
+            mine_h = self._hists.get(key)
+            if mine_h is None:
+                mine_h = self._hists[key] = LogHistogram()
+            mine_h.merge(other._hists[key])
+
+    # -- (de)serialization — the sweep's process boundary ----------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "counters": [[name, list(labels), self._counters[(name, labels)]]
+                         for name, labels in sorted(self._counters)],
+            "gauges": [[name, list(labels), self._gauges[(name, labels)]]
+                       for name, labels in sorted(self._gauges)],
+            "histograms": [[name, list(labels),
+                            _hist_to_dict(self._hists[(name, labels)])]
+                           for name, labels in sorted(self._hists)],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MetricsRegistry":
+        reg = cls()
+        for name, labels, value in data["counters"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            reg._counters[key] = float(value)
+        for name, labels, value in data["gauges"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            reg._gauges[key] = float(value)
+        for name, labels, hist in data["histograms"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            reg._hists[key] = _hist_from_dict(hist)
+        return reg
+
+    # -- exposition ------------------------------------------------------------
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition, fully sorted.
+
+        Histograms render cumulative ``_bucket{le=...}`` series over the
+        occupied log-scale bins plus ``+Inf``, ``_sum`` and ``_count``.
+        """
+        lines: List[str] = []
+        seen_types: set = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for key in sorted(self._counters):
+            type_line(key[0], "counter")
+            lines.append(f"{render_key(key)} {self._counters[key]:g}")
+        for key in sorted(self._gauges):
+            type_line(key[0], "gauge")
+            lines.append(f"{render_key(key)} {self._gauges[key]:g}")
+        for key in sorted(self._hists):
+            name, labels = key
+            type_line(name, "histogram")
+            hist = self._hists[key]
+            hist._flush()
+            cum = 0
+            for idx in sorted(hist.counts):
+                cum += hist.counts[idx]
+                le = (("le", f"{_bin_upper_edge(idx):.9g}"),)
+                lines.append(
+                    f"{render_key((name + '_bucket', labels + le))} {cum}")
+            inf = (("le", "+Inf"),)
+            lines.append(
+                f"{render_key((name + '_bucket', labels + inf))} "
+                f"{hist._count}")
+            lines.append(f"{render_key((name + '_sum', labels))} "
+                         f"{hist.total:g}")
+            lines.append(f"{render_key((name + '_count', labels))} "
+                         f"{hist._count}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,172 @@
+"""Virtual-clock span tracer: the invocation lifecycle as trace events.
+
+Spans record *simulated* timestamps (``sim.now``), never wall clock —
+tracing a run is a pure host-side observation and by contract changes no
+simulated result (the golden-determinism tests enforce this).
+
+Track model (what Perfetto shows after export):
+
+* **pid 0** is the rack-level control track: fault-injector events, whole
+  -rack conditions, anything not attributable to one node.
+* **one pid per node**, assigned in first-bind order.  Within a node,
+  **tid 0** is the node control track (retire/teardown background work,
+  crash/recover marks) and **tids >= 1 are invocation lanes**: each
+  in-flight invocation holds a lane from bind to finish, and lanes are
+  recycled smallest-first so concurrent invocations stack like rows in a
+  flame chart instead of growing an unbounded tid space.
+
+A :class:`TraceContext` is the explicit object threaded through
+``cluster.py`` / ``runner.py`` / the platforms down to ``criu/restore.py``
+and ``core/mm_template.py``.  It is deliberately *not* ambient state: the
+engine interleaves generator tasks at the same virtual tick, so any
+"current context" global would attribute spans to the wrong invocation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+#: pid of the rack-level control track.
+RACK_PID = 0
+#: tid of the per-node (and rack) control track.
+CONTROL_TID = 0
+
+
+class TraceContext:
+    """Identity of one traced invocation: a lane on a node's track.
+
+    Created unbound (``pid == -1``) by :meth:`SpanTracer.begin`; bound to
+    a node (and an invocation lane) by :meth:`SpanTracer.bind` — possibly
+    more than once, when a cluster re-dispatches after a node crash.
+    """
+
+    __slots__ = ("trace_id", "function", "pid", "tid", "t_begin")
+
+    def __init__(self, trace_id: int, function: str, t_begin: float):
+        self.trace_id = trace_id
+        self.function = function
+        self.pid = -1
+        self.tid = -1
+        self.t_begin = t_begin
+
+    @property
+    def bound(self) -> bool:
+        return self.pid >= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceContext(#{self.trace_id} {self.function!r} "
+                f"pid={self.pid} tid={self.tid})")
+
+
+class SpanTracer:
+    """Collects spans and instants keyed to the virtual clock.
+
+    Storage is plain tuples (no per-span objects): a traced cluster run
+    emits several spans per invocation, and the tracer must stay cheap
+    enough that "spans" mode is usable on trace-scale scenarios.
+    """
+
+    def __init__(self):
+        # (t0, t1, pid, tid, name, category, trace_id, args-or-None)
+        self.spans: List[Tuple] = []
+        # (t, pid, tid, name, args-or-None)
+        self.instants: List[Tuple] = []
+        self._procs: Dict[str, int] = {"rack": RACK_PID}
+        self._free_lanes: Dict[int, List[int]] = {}
+        self._lane_high: Dict[int, int] = {}
+        self._ids = itertools.count(1)
+
+    # -- identity ------------------------------------------------------------
+
+    def pid_for(self, node_name: str) -> int:
+        """The pid of ``node_name``'s track (assigned on first use)."""
+        pid = self._procs.get(node_name)
+        if pid is None:
+            pid = self._procs[node_name] = len(self._procs)
+        return pid
+
+    def processes(self) -> Dict[str, int]:
+        """{track name: pid} — "rack" plus every node seen so far."""
+        return dict(self._procs)
+
+    def lane_count(self, pid: int) -> int:
+        """Highest invocation-lane tid ever allocated on ``pid``."""
+        return self._lane_high.get(pid, CONTROL_TID + 1) - 1
+
+    # -- context lifecycle -----------------------------------------------------
+
+    def begin(self, function: str, t: float) -> TraceContext:
+        """A fresh, unbound context for one invocation."""
+        return TraceContext(next(self._ids), function, t)
+
+    def bind(self, ctx: TraceContext, node_name: str) -> None:
+        """Place ``ctx`` on a free invocation lane of ``node_name``.
+
+        Re-binding (cluster re-dispatch after a crash) releases the old
+        lane first, so the failed attempt and the retry occupy separate
+        rows only if they overlap other work.
+        """
+        if ctx.pid >= 0:
+            self._release_lane(ctx)
+        pid = self.pid_for(node_name)
+        free = self._free_lanes.get(pid)
+        if free:
+            tid = heapq.heappop(free)
+        else:
+            tid = self._lane_high.get(pid, CONTROL_TID + 1)
+            self._lane_high[pid] = tid + 1
+        ctx.pid = pid
+        ctx.tid = tid
+
+    def finish(self, ctx: TraceContext, t: float) -> None:
+        """Release the context's lane; ``t`` closes the invocation."""
+        self._release_lane(ctx)
+
+    def _release_lane(self, ctx: TraceContext) -> None:
+        if ctx.pid >= 0:
+            heapq.heappush(self._free_lanes.setdefault(ctx.pid, []),
+                           ctx.tid)
+            ctx.pid = -1
+            ctx.tid = -1
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, ctx: Optional[TraceContext], name: str,
+             t0: float, t1: float, cat: str = "phase",
+             args: Optional[Dict] = None) -> None:
+        """A complete span ``[t0, t1]`` on the context's lane."""
+        if ctx is None or ctx.pid < 0:
+            return
+        self.spans.append((t0, t1, ctx.pid, ctx.tid, name, cat,
+                           ctx.trace_id, args))
+
+    def node_span(self, node_name: str, name: str, t0: float, t1: float,
+                  cat: str = "node", args: Optional[Dict] = None) -> None:
+        """A span on a node's control track (teardown, background work)."""
+        self.spans.append((t0, t1, self.pid_for(node_name), CONTROL_TID,
+                           name, cat, 0, args))
+
+    def instant(self, name: str, t: float,
+                node: Optional[str] = None,
+                ctx: Optional[TraceContext] = None,
+                args: Optional[Dict] = None) -> None:
+        """A point event: on the ctx lane, a node control track, or rack."""
+        if ctx is not None and ctx.pid >= 0:
+            pid, tid = ctx.pid, ctx.tid
+        elif node is not None:
+            pid, tid = self.pid_for(node), CONTROL_TID
+        else:
+            pid, tid = RACK_PID, CONTROL_TID
+        self.instants.append((t, pid, tid, name, args))
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def n_spans(self) -> int:
+        return len(self.spans)
+
+    @property
+    def n_instants(self) -> int:
+        return len(self.instants)

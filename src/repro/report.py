@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import json
+import warnings
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -18,7 +19,20 @@ from repro.serverless.runner import RunResult
 
 
 def invocations_to_csv(recorder: LatencyRecorder, path) -> int:
-    """Write one row per measured invocation; returns rows written."""
+    """Write one row per measured invocation; returns rows written.
+
+    A streaming recorder (``keep_results=False``) retains no
+    per-invocation rows; rather than crash, this falls back to
+    :func:`summary_to_csv` — one per-function summary row derived from
+    the recorder's histograms — and warns about the downgrade.
+    """
+    if not recorder.keep_results:
+        warnings.warn(
+            "recorder was built with keep_results=False (streaming mode): "
+            "per-invocation rows were not retained; writing the "
+            "histogram-derived per-function summary instead",
+            stacklevel=2)
+        return summary_to_csv(recorder, path)
     path = Path(path)
     rows = recorder.measured()
     with path.open("w", newline="") as fh:
@@ -32,12 +46,33 @@ def invocations_to_csv(recorder: LatencyRecorder, path) -> int:
     return len(rows)
 
 
+def summary_to_csv(recorder: LatencyRecorder, path) -> int:
+    """Write one summary row per function; returns rows written.
+
+    Works in both recorder regimes — this is the export a streaming
+    (``keep_results=False``) recorder can always answer.
+    """
+    path = Path(path)
+    summary = recorder.summary()
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("function", "count", "p50_e2e_s", "p99_e2e_s",
+                         "p99_startup_s"))
+        for fn in sorted(summary):
+            row = summary[fn]
+            writer.writerow((fn, row["count"], f"{row['p50_e2e']:.6f}",
+                             f"{row['p99_e2e']:.6f}",
+                             f"{row['p99_startup']:.6f}"))
+    return len(summary)
+
+
 def run_result_summary(result: RunResult) -> Dict:
     """A JSON-safe summary of one platform × workload run."""
     rec = result.recorder
     return {
         "platform": result.platform,
         "workload": result.workload,
+        "metrics_mode": "streaming" if not rec.keep_results else "exact",
         "invocations": rec.count(),
         "p50_e2e_s": rec.e2e_percentile(50),
         "p99_e2e_s": rec.e2e_percentile(99),

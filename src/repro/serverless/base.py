@@ -31,6 +31,7 @@ from repro.mem.layout import PAGE_SIZE
 from repro.mem.page_cache import FileIdRegistry, PageCache
 from repro.mem.pools import MemoryPool
 from repro.node import Node
+from repro.obs import hooks as obs_hooks
 from repro.serverless.metrics import InvocationResult, LatencyRecorder
 from repro.sim.engine import Delay, Interrupt
 from repro.sim.rng import SeededRNG
@@ -60,6 +61,9 @@ class Instance:
         #: Set when acquisition had to take a fallback path because the
         #: remote pool was unreachable (see repro.faults).
         self.degraded_start = False
+        #: The TraceContext of the invocation currently running on this
+        #: instance (repro.obs); None whenever tracing is off or idle.
+        self.obs_ctx = None
 
     @property
     def function(self) -> str:
@@ -247,14 +251,19 @@ class ServerlessPlatform:
 
     # -- the invocation lifecycle -----------------------------------------------------
 
-    def invoke(self, function: str, arrival: Optional[float] = None
-               ) -> Generator:
+    def invoke(self, function: str, arrival: Optional[float] = None,
+               ctx=None) -> Generator:
         """Timed: run one invocation end-to-end; returns the result.
 
         Pool faults are absorbed (retry with backoff, then degrade to a
         fallback path).  A node crash mid-invocation surfaces as a typed
         :class:`NodeCrashedError` so a cluster dispatcher can re-dispatch
         the work elsewhere.
+
+        ``ctx`` is an optional :class:`repro.obs.trace.TraceContext`
+        threaded down from a dispatcher; with tracing on and no context
+        given, the invocation opens (and closes) its own.  Observability
+        is host-side only: no branch below adds simulated time.
         """
         if self.crashed:
             raise NodeCrashedError(self.node.name)
@@ -264,6 +273,17 @@ class ServerlessPlatform:
             self.keep_alive_policy.observe_arrival(function, arrival)
         inv_idx = next(self._inv_counter)
         t0 = self.node.now
+        obs = obs_hooks.active
+        tracer = obs.tracer if obs is not None else None
+        own_ctx = False
+        if tracer is not None:
+            if ctx is None:
+                ctx = tracer.begin(function, t0)
+                own_ctx = True
+            if not ctx.bound:
+                tracer.bind(ctx, self.node.name)
+        else:
+            ctx = None   # stale context from a since-removed observer
         inst: Optional[Instance] = None
         try:
             yield self._admit(function)
@@ -272,26 +292,44 @@ class ServerlessPlatform:
             inst = self.warm.take(function)
             if inst is not None:
                 kind = "warm"
+                inst.obs_ctx = ctx
                 yield self._warm_resume(inst)
+                if tracer is not None:
+                    tracer.span(ctx, "warm_hit", t_acquire, self.node.now)
             else:
-                inst, kind = yield self._acquire(profile)
+                inst, kind = yield self._acquire(profile, ctx)
+                inst.obs_ctx = ctx
+                if tracer is not None:
+                    tracer.span(ctx, "acquire", t_acquire, self.node.now,
+                                args={"kind": kind})
             startup = self.node.now - t_acquire
             t1 = self.node.now
             retries, degraded = yield self.execute(inst, profile, inv_idx)
             exec_lat = self.node.now - t1
             inst.last_used = self.node.now
             inst.invocations += 1
+            t_teardown = self.node.now
             yield self._recycle(inst)
+            if tracer is not None:
+                tracer.span(ctx, "teardown", t_teardown, self.node.now)
             self._release(function)
             self._apply_memory_pressure()
         except Interrupt as intr:
             # The node died under us: drop whatever was half-built and
             # re-raise as a typed crash for the dispatcher.
             self._abort_crashed_instance(inst)
+            if tracer is not None:
+                tracer.instant("interrupted", self.node.now, ctx=ctx,
+                               args={"function": function})
+                if own_ctx:
+                    tracer.finish(ctx, self.node.now)
             cause = intr.cause
             if not isinstance(cause, NodeCrashedError):
                 cause = NodeCrashedError(self.node.name)
             raise cause from None
+        finally:
+            if inst is not None:
+                inst.obs_ctx = None
         degraded = degraded or inst.degraded_start
         inst.degraded_start = False   # one-shot: only this start was degraded
         if degraded:
@@ -304,6 +342,18 @@ class ServerlessPlatform:
                                   queue=queue_wait,
                                   retries=retries, degraded=degraded)
         self.recorder.record(result)
+        if obs is not None:
+            obs.on_invocation(self.name, result)
+            if tracer is not None:
+                if queue_wait > 0:
+                    tracer.span(ctx, "queue", t0, t0 + queue_wait)
+                tracer.span(ctx, function, t0, self.node.now,
+                            cat="invocation",
+                            args={"kind": kind, "queue": queue_wait,
+                                  "retries": retries,
+                                  "degraded": degraded})
+                if own_ctx:
+                    tracer.finish(ctx, self.node.now)
         return result
 
     def _abort_crashed_instance(self, inst: Optional[Instance]) -> None:
@@ -352,8 +402,13 @@ class ServerlessPlatform:
 
     # -- hooks ---------------------------------------------------------------------------
 
-    def _acquire(self, profile: FunctionProfile) -> Generator:
-        """Timed hook: produce a ready instance; returns (inst, kind)."""
+    def _acquire(self, profile: FunctionProfile, ctx=None) -> Generator:
+        """Timed hook: produce a ready instance; returns (inst, kind).
+
+        ``ctx`` is the invocation's TraceContext (or None): subclasses
+        thread it into the restore/attach engines so cold-start phases
+        land on the right trace lane.
+        """
         raise NotImplementedError
 
     def _warm_resume(self, inst: Instance) -> Generator:
@@ -385,6 +440,9 @@ class ServerlessPlatform:
         """
         node = self.node
         lat = node.latency.mem
+        obs = obs_hooks.active
+        tracer = obs.tracer if obs is not None else None
+        ctx = inst.obs_ctx if tracer is not None else None
         trace = profile.make_trace(self.trace_rng, inv_idx)
         outcome = inst.space.access(trace.read_pages, trace.write_pages,
                                     trace.read_loads)
@@ -393,6 +451,7 @@ class ServerlessPlatform:
                     + outcome.cow_faults * lat.cow_fault)
         retries = 0
         degraded = False
+        t_replay0 = node.now
         self._inflight_fetches += 1
         try:
             for pool_name, pages in outcome.fetch_pools.items():
@@ -413,12 +472,30 @@ class ServerlessPlatform:
                 overhead += t
                 retries += r
                 degraded = degraded or d
+            t_compute0 = node.now
             yield from node.cpu.compute(profile.exec_cpu + overhead)
         finally:
             self._inflight_fetches -= 1
+        if tracer is not None and ctx is not None:
+            # Fault-replay CPU is paid inside the fair-shared compute
+            # interval; split it proportionally for the trace view (a
+            # derived reading — simulated time is untouched).
+            total_cpu = profile.exec_cpu + overhead
+            frac = overhead / total_cpu if total_cpu > 0 else 0.0
+            split = t_compute0 + frac * (node.now - t_compute0)
+            tracer.span(ctx, "fault_replay", t_replay0, split,
+                        args={"minor_faults": int(outcome.minor_faults),
+                              "cow_faults": int(outcome.cow_faults),
+                              "retries": retries,
+                              "fault_cpu_s": overhead})
+            t_exec0 = split
         io_time = profile.io_time + self._file_io(inst, profile)
         if io_time > 0:
             yield Delay(io_time)
+        if tracer is not None and ctx is not None:
+            tracer.span(ctx, "exec", t_exec0, node.now,
+                        args={"exec_cpu_s": profile.exec_cpu,
+                              "io_s": io_time})
         return retries, degraded
 
     # -- fault recovery (repro.faults) --------------------------------------------
@@ -494,6 +571,12 @@ class ServerlessPlatform:
             return
         self.crashed = True
         self.crash_count += 1
+        obs = obs_hooks.active
+        if obs is not None:
+            obs.registry.inc("node_crashes_total", node=self.node.name)
+            if obs.tracer is not None:
+                obs.tracer.instant("node_crash", self.node.now,
+                                   node=self.node.name)
         for inst in self.warm.idle_instances():
             inst.retired = True
             inst.space.destroy()
@@ -505,6 +588,10 @@ class ServerlessPlatform:
     def recover(self) -> None:
         """Untimed: the node comes back, cold — no warm instances."""
         self.crashed = False
+        obs = obs_hooks.active
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.instant("node_recover", self.node.now,
+                               node=self.node.name)
 
     def _on_crash(self) -> None:
         """Hook: subclass state lost with the node (sandbox pools, ...)."""
@@ -531,18 +618,37 @@ class ServerlessPlatform:
         window = self._expiry_window(inst)
         if window <= 0:
             if self.warm.remove(inst):
-                self.node.sim.spawn(self._retire(inst),
-                                    name=f"expire-{inst.instance_id}")
+                self._spawn_retire(inst, "expire")
             return
 
         def check():
             if (not inst.busy and not inst.retired
                     and inst.last_used == stamp):
                 if self.warm.remove(inst):
-                    self.node.sim.spawn(self._retire(inst),
-                                        name=f"expire-{inst.instance_id}")
+                    self._spawn_retire(inst, "expire")
 
         self.node.sim.call_at(self.node.now + window, check)
+
+    def _spawn_retire(self, inst: Instance, reason: str) -> None:
+        """Spawn the retirement task, wrapped for observability if on."""
+        gen = self._retire(inst)
+        obs = obs_hooks.active
+        if obs is not None:
+            gen = self._observed_retire(gen, inst, reason, obs)
+        self.node.sim.spawn(gen, name=f"{reason}-{inst.instance_id}")
+
+    def _observed_retire(self, gen: Generator, inst: Instance,
+                         reason: str, obs) -> Generator:
+        """yield-from wrapper: engine-transparent, reports the retirement."""
+        t0 = self.node.now
+        result = yield from gen
+        obs.on_retire(self.name, inst.function, reason)
+        if obs.tracer is not None:
+            obs.tracer.node_span(self.node.name, "retire", t0,
+                                 self.node.now,
+                                 args={"function": inst.function,
+                                       "reason": reason})
+        return result
 
     def _apply_memory_pressure(self) -> None:
         """Evict LRU warm instances while over the node's soft cap."""
@@ -552,8 +658,7 @@ class ServerlessPlatform:
             if victim is None:
                 break
             self.warm.remove(victim)
-            self.node.sim.spawn(self._retire(victim),
-                                name=f"pressure-{victim.instance_id}")
+            self._spawn_retire(victim, "pressure")
             guard += 1
 
     # -- stats ------------------------------------------------------------------------------------

@@ -41,7 +41,7 @@ class FaasdPlatform(ServerlessPlatform):
         super().__init__(node, keep_alive, seed)
         self.runtime = ContainerRuntime(node)
 
-    def _acquire(self, profile: FunctionProfile) -> Generator:
+    def _acquire(self, profile: FunctionProfile, ctx=None) -> Generator:
         sandbox = yield self.runtime.create_sandbox_cold(profile.name)
         proc = yield self.runtime.bootstrap_function(sandbox, profile)
         inst = Instance(profile, proc.address_space, payload=sandbox)
@@ -65,12 +65,13 @@ class CRIUPlatform(ServerlessPlatform):
     def _preprocess(self, profile: FunctionProfile) -> None:
         self.images[profile.name] = SnapshotImage.from_profile(profile)
 
-    def _acquire(self, profile: FunctionProfile) -> Generator:
+    def _acquire(self, profile: FunctionProfile, ctx=None) -> Generator:
         sandbox = yield self.runtime.create_sandbox_cold(profile.name)
         image = self.images[profile.name]
         proc = yield self.node.criu.restore_full(
             image, f"{profile.name}@{sandbox.sandbox_id}",
-            on_local_delta=self.node.memory.page_delta_hook("function-anon"))
+            on_local_delta=self.node.memory.page_delta_hook("function-anon"),
+            ctx=ctx)
         sandbox.processes.append(proc)
         inst = Instance(profile, proc.address_space, payload=sandbox)
         return inst, "restored"
@@ -127,7 +128,7 @@ class _LazyVMPlatform(ServerlessPlatform):
             self.store.store_image(content)
             for _vma, content in image.vma_content_slices()]
 
-    def _acquire(self, profile: FunctionProfile) -> Generator:
+    def _acquire(self, profile: FunctionProfile, ctx=None) -> Generator:
         node = self.node
         if self.netns_pool_enabled and self._free_netns > 0:
             self._free_netns -= 1
@@ -176,9 +177,10 @@ class _LazyVMPlatform(ServerlessPlatform):
         vm: MicroVM = inst.payload
         read_bytes = int(profile.file_io_bytes * 0.75)
         write_bytes = profile.file_io_bytes - read_bytes
-        io = vm.read_files(read_bytes, f"data-{profile.name}")
+        io = vm.read_files(read_bytes, f"data-{profile.name}",
+                           ctx=inst.obs_ctx)
         io += vm.read_files(write_bytes, f"scratch-{profile.name}",
-                            write=True)
+                            write=True, ctx=inst.obs_ctx)
         return io
 
     def _retire(self, inst: Instance) -> Generator:

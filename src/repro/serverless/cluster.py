@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro import optflags
 from repro.faults.errors import NodeCrashedError
 from repro.node import Node
+from repro.obs import hooks as obs_hooks
 from repro.serverless.base import ServerlessPlatform
 from repro.serverless.metrics import LatencyRecorder
 from repro.sim.engine import Delay, Simulator
@@ -284,37 +285,68 @@ class Cluster:
                     platform.register_function(profile)
 
         def dispatch(event, slot):
-            excluded: set = set()
-            for _attempt in range(self.max_dispatch_attempts):
-                platform = None
-                if self._index is not None and not excluded:
-                    platform = self._index.pick(self.policy, event.function)
-                if platform is None:
-                    candidates = [p for p in self.platforms
-                                  if not p.crashed
-                                  and p.node.name not in excluded]
-                    if not candidates:
-                        # Whole rack down (or every survivor just failed
-                        # us): wait for recovery and retry every node.
-                        excluded.clear()
-                        yield Delay(self.redispatch_wait)
-                        continue
-                    platform = self.policy.pick(candidates, event.function)
-                key = platform.node.name
-                self.dispatch_counts[key] = (
-                    self.dispatch_counts.get(key, 0) + 1)
-                slot["node"] = key
-                try:
-                    yield platform.invoke(event.function,
-                                          arrival=event.time)
-                    return
-                except NodeCrashedError:
-                    excluded.add(key)
-                    self.redispatches += 1
-                finally:
-                    slot["node"] = None
-            self.failed.append((event.function, event.time,
-                                "dispatch budget exhausted"))
+            obs = obs_hooks.active
+            tracer = obs.tracer if obs is not None else None
+            ctx = None
+            if tracer is not None:
+                ctx = tracer.begin(event.function, self.sim.now)
+            try:
+                excluded: set = set()
+                for _attempt in range(self.max_dispatch_attempts):
+                    t_att = self.sim.now
+                    platform = None
+                    if self._index is not None and not excluded:
+                        platform = self._index.pick(self.policy,
+                                                    event.function)
+                    if platform is None:
+                        candidates = [p for p in self.platforms
+                                      if not p.crashed
+                                      and p.node.name not in excluded]
+                        if not candidates:
+                            # Whole rack down (or every survivor just
+                            # failed us): wait for recovery and retry
+                            # every node.
+                            excluded.clear()
+                            yield Delay(self.redispatch_wait)
+                            continue
+                        platform = self.policy.pick(candidates,
+                                                    event.function)
+                    key = platform.node.name
+                    self.dispatch_counts[key] = (
+                        self.dispatch_counts.get(key, 0) + 1)
+                    slot["node"] = key
+                    if obs is not None:
+                        obs.registry.inc("dispatches_total", node=key)
+                        if tracer is not None:
+                            tracer.bind(ctx, key)
+                            tracer.span(ctx, "dispatch", t_att,
+                                        self.sim.now,
+                                        args={"node": key,
+                                              "attempt": _attempt})
+                    try:
+                        yield platform.invoke(event.function,
+                                              arrival=event.time,
+                                              ctx=ctx)
+                        return
+                    except NodeCrashedError:
+                        excluded.add(key)
+                        self.redispatches += 1
+                        if obs is not None:
+                            obs.registry.inc("redispatches_total")
+                            if tracer is not None:
+                                tracer.instant("redispatch", self.sim.now,
+                                               ctx=ctx,
+                                               args={"from": key})
+                    finally:
+                        slot["node"] = None
+                self.failed.append((event.function, event.time,
+                                    "dispatch budget exhausted"))
+                if tracer is not None:
+                    tracer.instant("dispatch_failed", self.sim.now,
+                                   args={"function": event.function})
+            finally:
+                if tracer is not None:
+                    tracer.finish(ctx, self.sim.now)
 
         def arrival(event, slot):
             yield Delay(max(0.0, event.time - self.sim.now))

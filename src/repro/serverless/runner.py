@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import optflags
 from repro.node import Node
+from repro.obs import hooks as obs_hooks
 from repro.serverless.base import ServerlessPlatform
 from repro.serverless.metrics import LatencyRecorder
 from repro.sim.engine import Delay
@@ -55,7 +56,20 @@ def run_workload(platform: ServerlessPlatform, workload: Workload,
             platform.register_function(function_by_name(name))
 
     def invoke(event):
-        yield platform.invoke(event.function, arrival=event.time)
+        obs = obs_hooks.active
+        tracer = obs.tracer if obs is not None else None
+        if tracer is None:
+            yield platform.invoke(event.function, arrival=event.time)
+            return
+        ctx = tracer.begin(event.function, node.now)
+        tracer.bind(ctx, node.name)
+        tracer.span(ctx, "dispatch", node.now, node.now,
+                    args={"node": node.name})
+        try:
+            yield platform.invoke(event.function, arrival=event.time,
+                                  ctx=ctx)
+        finally:
+            tracer.finish(ctx, node.now)
 
     def arrival(event):
         yield Delay(max(0.0, event.time - node.now))

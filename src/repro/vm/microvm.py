@@ -23,6 +23,7 @@ from repro.mem.accounting import MemoryAccountant
 from repro.mem.address_space import AddressSpace
 from repro.mem.layout import GB, MB
 from repro.mem.page_cache import FileIdRegistry, PageCache
+from repro.obs import hooks as obs_hooks
 
 #: Host-side footprint of one VMM process (device emulation, rt threads).
 VMM_OVERHEAD = 15 * MB
@@ -95,8 +96,14 @@ class MicroVM:
         self.accountant.charge("vmm-overhead", VMM_OVERHEAD)
         self.accountant.charge("vm-guest-kernel", GUEST_KERNEL_RSS)
         self.kernel_charged = True
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_vm_event("create", self.name,
+                                         self.accountant.now())
 
     def release_all(self) -> None:
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_vm_event("destroy", self.name,
+                                         self.accountant.now())
         if self.kernel_charged:
             self.accountant.charge("vmm-overhead", -VMM_OVERHEAD)
             self.accountant.charge("vm-guest-kernel", -GUEST_KERNEL_RSS)
@@ -115,17 +122,19 @@ class MicroVM:
     # -- storage model ----------------------------------------------------------------
 
     def read_files(self, nbytes: int, file_key: str = "rootfs",
-                   write: bool = False, offset: int = 0) -> float:
+                   write: bool = False, offset: int = 0,
+                   ctx=None) -> float:
         """Charge page caches for a guest file access; returns IO seconds.
 
         The return value is the *device-level* IO time (cache-miss
-        portion); callers add it to the invocation's IO wait.
+        portion); callers add it to the invocation's IO wait.  ``ctx`` is
+        the observing invocation's TraceContext (or None).
         """
         if self.state == VMState.DESTROYED:
             raise RuntimeError(f"{self.name} is destroyed")
         mode = self.config.storage
         if write:
-            return self._write_files(nbytes, file_key, offset)
+            return self._write_files(nbytes, file_key, offset, ctx=ctx)
         if mode == StorageMode.VIRTIO_BLK:
             # Per-VM device file: guest caches it, host caches it again,
             # and host entries are private to this VM's device.
@@ -135,38 +144,48 @@ class MicroVM:
             host_fid = self.files.file_id("blk-host", self.vm_id, file_key)
             self._private_host_fids.add(host_fid)
             self.host_cache.charge_file(host_fid, nbytes, offset)
-            return fresh_guest * 4e-6    # virtio-blk IO per fresh 4K block
-        if mode == StorageMode.VIRTIOFS_DAX:
+            io = fresh_guest * 4e-6    # virtio-blk IO per fresh 4K block
+        elif mode == StorageMode.VIRTIOFS_DAX:
             # RunD: guest cache bypassed; host cache shared by content.
             host_fid = self.files.file_id("shared", self.config.base_image,
                                           file_key)
             fresh = self.host_cache.charge_file(host_fid, nbytes, offset)
-            return fresh * 2e-6
-        if mode == StorageMode.PMEM_UNION:
+            io = fresh * 2e-6
+        elif mode == StorageMode.PMEM_UNION:
             # TrEnv: read-only base via pmem DAX — guest cache bypassed,
             # one host copy per node, near-memory access speed.
             host_fid = self.files.file_id("pmem-base", self.config.base_image,
                                           file_key)
             fresh = self.host_cache.charge_file(host_fid, nbytes, offset)
-            return fresh * 0.25e-6
-        raise AssertionError(f"unhandled storage mode {mode}")
+            io = fresh * 0.25e-6
+        else:
+            raise AssertionError(f"unhandled storage mode {mode}")
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_vm_io(f"read-{mode.value}", nbytes, io,
+                                      ctx=ctx)
+        return io
 
-    def _write_files(self, nbytes: int, file_key: str, offset: int = 0
-                     ) -> float:
+    def _write_files(self, nbytes: int, file_key: str, offset: int = 0,
+                     ctx=None) -> float:
         mode = self.config.storage
         if mode == StorageMode.PMEM_UNION:
             # Writable overlay device opened O_DIRECT: bypasses the host
             # cache entirely; the guest caches its own dirty data.
             guest_fid = self.files.file_id("ovl", self.vm_id, file_key)
             fresh = self.guest_cache.charge_file(guest_fid, nbytes, offset)
-            return fresh * 6e-6   # O_DIRECT write, no host cache
-        # virtio-blk / virtiofs writes: guest cache + host cache double up.
-        guest_fid = self.files.file_id("blk", self.vm_id, file_key)
-        fresh = self.guest_cache.charge_file(guest_fid, nbytes, offset)
-        host_fid = self.files.file_id("blk-host", self.vm_id, file_key)
-        self._private_host_fids.add(host_fid)
-        self.host_cache.charge_file(host_fid, nbytes, offset)
-        return fresh * 4e-6
+            io = fresh * 6e-6   # O_DIRECT write, no host cache
+        else:
+            # virtio-blk / virtiofs writes: guest + host cache double up.
+            guest_fid = self.files.file_id("blk", self.vm_id, file_key)
+            fresh = self.guest_cache.charge_file(guest_fid, nbytes, offset)
+            host_fid = self.files.file_id("blk-host", self.vm_id, file_key)
+            self._private_host_fids.add(host_fid)
+            self.host_cache.charge_file(host_fid, nbytes, offset)
+            io = fresh * 4e-6
+        if obs_hooks.active is not None:
+            obs_hooks.active.on_vm_io(f"write-{mode.value}", nbytes, io,
+                                      ctx=ctx)
+        return io
 
     @property
     def resident_bytes(self) -> int:

@@ -5,14 +5,25 @@ Setting ``REPRO_SANITIZE=1`` wraps every test in a runtime sanitizer
 verified at each instrumentation hook and at a final barrier when the
 test ends.  CI runs the ``tests/mem`` and ``tests/core`` slices this
 way; locally it is off, so the hooks cost a single ``is None`` check.
+
+Setting ``REPRO_OBS=1`` (or ``metrics``/``spans``) likewise wraps every
+test in a :mod:`repro.obs` observer — the golden-determinism CI slice
+runs with it on to prove observability never changes simulated results.
 """
 
 import pytest
 
 from repro.analysis.sanitizer import maybe_sanitized
+from repro.obs.observer import maybe_observed
 
 
 @pytest.fixture(autouse=True)
 def _sanitize_if_requested():
     with maybe_sanitized() as sanitizer:
         yield sanitizer
+
+
+@pytest.fixture(autouse=True)
+def _observe_if_requested():
+    with maybe_observed() as observer:
+        yield observer

@@ -125,6 +125,37 @@ def test_sweep_parallel_is_bit_identical_to_serial():
     assert serial["shards"] == fanned["shards"]
 
 
+@pytest.mark.parametrize("level", ["metrics", "spans"])
+def test_observability_is_bit_identical(level):
+    """repro.obs never changes simulated results (the zero-cost contract).
+
+    The same W2 slice runs unobserved and under each observability
+    level; invocation streams and memory peaks must match bit-for-bit.
+    """
+    from repro.obs.observer import observed
+
+    baseline = run_w2_slice("t-cxl")
+    with observed(level) as obs:
+        traced = run_w2_slice("t-cxl")
+    assert baseline[0], "W2 slice produced no invocations"
+    assert baseline == traced
+    assert len(obs.registry) > 0
+    if level == "spans":
+        assert obs.tracer.n_spans > 0
+
+
+def test_observability_cluster_bit_identical():
+    """Same contract for the rack: dispatch spans don't perturb results."""
+    from repro.obs.observer import observed
+
+    baseline = _cluster_stream(seed=3)
+    with observed("spans") as obs:
+        traced = _cluster_stream(seed=3)
+    assert baseline[0]
+    assert baseline == traced
+    assert obs.tracer.n_spans > 0
+
+
 def test_w2_cluster_dispatch_counts_deterministic():
     """Cluster results expose dispatch counts in sorted-key order."""
     from repro.mem.layout import GB as _GB

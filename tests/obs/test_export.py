@@ -1,0 +1,103 @@
+"""Chrome-trace export schema and the phase-breakdown aggregation."""
+
+import json
+
+from repro.obs.export import (PHASE_ORDER, chrome_trace_events,
+                              phase_breakdown, phase_table, to_chrome_trace,
+                              write_chrome_trace)
+from repro.obs.trace import SpanTracer
+
+
+def _sample_tracer():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn-a", 0.0)
+    tracer.bind(ctx, "node0")
+    tracer.span(ctx, "fn-a", 0.0, 3.0, cat="invocation",
+                args={"kind": "cold"})
+    tracer.span(ctx, "mmt_attach", 0.0, 1.0)
+    tracer.span(ctx, "exec", 1.0, 3.0)
+    tracer.finish(ctx, 3.0)
+    warm = tracer.begin("fn-a", 4.0)
+    tracer.bind(warm, "node1")
+    tracer.span(warm, "fn-a", 4.0, 5.0, cat="invocation",
+                args={"kind": "warm"})
+    tracer.span(warm, "exec", 4.0, 5.0)
+    tracer.finish(warm, 5.0)
+    tracer.instant("fault:node-crash", 2.5, args={"target": "node0"})
+    tracer.node_span("node0", "retire", 5.0, 5.2)
+    return tracer
+
+
+def test_chrome_events_schema():
+    events = chrome_trace_events(_sample_tracer())
+    assert events, "no events exported"
+    for ev in events:
+        assert ev["ph"] in ("X", "i", "M")
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        if ev["ph"] == "X":
+            assert isinstance(ev["ts"], float) and ev["ts"] >= 0
+            assert isinstance(ev["dur"], float) and ev["dur"] >= 0
+        elif ev["ph"] == "i":
+            assert ev["s"] == "t"
+
+
+def test_chrome_events_metadata_and_order():
+    tracer = _sample_tracer()
+    events = chrome_trace_events(tracer)
+    meta = [ev for ev in events if ev["ph"] == "M"]
+    names = {(ev["pid"], ev["tid"]): ev["args"]["name"]
+             for ev in meta if ev["name"] == "process_name"}
+    assert names[(0, 0)] == "rack"
+    assert set(names.values()) == {"rack", "node0", "node1"}
+    lanes = [ev["args"]["name"] for ev in meta
+             if ev["name"] == "thread_name" and ev["tid"] > 0]
+    assert "lane-1" in lanes
+    # Timed events are begin-sorted; at equal ts longer spans come first
+    # (parents before children on the same lane).
+    timed = [ev for ev in events if ev["ph"] in ("X", "i")]
+    keys = [(ev["ts"], -ev.get("dur", 0.0)) for ev in timed]
+    assert keys == sorted(keys)
+    # Virtual seconds became microseconds.
+    root = next(ev for ev in timed if ev.get("cat") == "invocation")
+    assert root["ts"] == 0.0 and root["dur"] == 3.0 * 1e6
+
+
+def test_trace_id_lands_in_args():
+    events = chrome_trace_events(_sample_tracer())
+    phased = [ev for ev in events if ev.get("cat") == "phase"]
+    assert phased
+    assert all("trace_id" in ev["args"] for ev in phased)
+
+
+def test_write_chrome_trace_is_loadable(tmp_path):
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(_sample_tracer(), path, metadata={"b": 1, "a": 2})
+    data = json.loads(path.read_text())
+    assert len(data["traceEvents"]) == n > 0
+    assert data["displayTimeUnit"] == "ms"
+    assert list(data["otherData"]) == ["a", "b"]
+
+
+def test_to_chrome_trace_without_metadata():
+    out = to_chrome_trace(_sample_tracer())
+    assert "otherData" not in out
+
+
+def test_phase_breakdown_groups_by_kind():
+    breakdown = phase_breakdown(_sample_tracer())
+    assert sorted(breakdown) == ["cold", "warm"]
+    assert breakdown["cold"]["mmt_attach"]["count"] == 1
+    assert breakdown["cold"]["exec"]["mean_ms"] == 2000.0
+    assert breakdown["warm"]["exec"]["count"] == 1
+    assert "retire" not in breakdown.get("cold", {})  # node spans excluded
+    # Phases listed in lifecycle order.
+    cold_phases = list(breakdown["cold"])
+    assert cold_phases == [p for p in PHASE_ORDER if p in cold_phases]
+
+
+def test_phase_table_renders_all_rows():
+    table = phase_table(_sample_tracer())
+    lines = table.splitlines()
+    assert "start kind" in lines[0]
+    assert any("mmt_attach" in ln for ln in lines)
+    assert any(ln.startswith("warm") for ln in lines)

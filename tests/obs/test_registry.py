@@ -1,0 +1,123 @@
+"""MetricsRegistry: label normalization, merge algebra, exposition."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, render_key
+
+
+def test_label_order_is_irrelevant():
+    reg = MetricsRegistry()
+    reg.inc("hits", a="1", b="2")
+    reg.inc("hits", b="2", a="1")
+    assert reg.counter("hits", b="2", a="1") == 2.0
+
+
+def test_render_key_sorted_labels():
+    reg = MetricsRegistry()
+    reg.inc("hits", zebra="z", alpha="a")
+    assert reg.totals() == {'hits{alpha="a",zebra="z"}': 1.0}
+    assert render_key(("plain", ())) == "plain"
+
+
+def test_gauges_and_histograms():
+    reg = MetricsRegistry()
+    reg.set_gauge("level", 5.0, node="n0")
+    reg.add_gauge("level", -2.0, node="n0")
+    assert reg.gauge("level", node="n0") == 3.0
+    assert reg.gauge("missing") == 0.0
+    for v in (0.001, 0.01, 0.1):
+        reg.observe("lat", v)
+    hist = reg.histogram("lat")
+    assert hist is not None and hist.count == 3
+    assert reg.histogram("lat", other="label") is None
+    assert len(reg) == 2  # one gauge key + one histogram key
+
+
+def _make(seed_values):
+    reg = MetricsRegistry()
+    for i, v in enumerate(seed_values):
+        reg.inc("c", v, shard=str(i % 2))
+        reg.set_gauge("g", v)
+        reg.observe("h", max(v, 1e-6))
+    return reg
+
+
+def test_merge_semantics():
+    a, b = _make([1.0, 2.0]), _make([10.0])
+    a.merge_from(b)
+    assert a.counter("c", shard="0") == 11.0  # counters add
+    assert a.counter("c", shard="1") == 2.0
+    assert a.gauge("g") == 10.0              # gauges take the max
+    assert a.histogram("h").count == 3       # histograms pool samples
+
+
+def test_merge_is_associative():
+    regs = [_make([1.0, 2.0]), _make([3.0]), _make([5.0, 8.0, 13.0])]
+
+    def fold(order):
+        acc = MetricsRegistry()
+        for idx in order:
+            acc.merge_from(MetricsRegistry.from_dict(regs[idx].to_dict()))
+        return acc.to_dict()
+
+    left = fold([0, 1, 2])
+    right = fold([2, 1, 0])
+    assert left == right
+
+
+def test_to_from_dict_roundtrip():
+    reg = _make([0.5, 2.0, 7.0])
+    clone = MetricsRegistry.from_dict(reg.to_dict())
+    assert clone.to_dict() == reg.to_dict()
+    assert clone.totals() == reg.totals()
+    assert clone.prometheus_text() == reg.prometheus_text()
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    reg.inc("hits_total", 3, node="n0")
+    reg.set_gauge("depth", 2.5)
+    reg.observe("lat_seconds", 0.010)
+    reg.observe("lat_seconds", 0.012)
+    text = reg.prometheus_text()
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    assert "# TYPE hits_total counter" in lines
+    assert "# TYPE depth gauge" in lines
+    assert "# TYPE lat_seconds histogram" in lines
+    assert 'hits_total{node="n0"} 3' in lines
+    assert "depth 2.5" in lines
+    # Cumulative buckets end in +Inf == _count, plus _sum and _count.
+    buckets = [ln for ln in lines if ln.startswith("lat_seconds_bucket")]
+    assert buckets[-1] == 'lat_seconds_bucket{le="+Inf"} 2'
+    counts = [int(ln.rsplit(" ", 1)[1]) for ln in buckets]
+    assert counts == sorted(counts)  # cumulative, never decreasing
+    assert "lat_seconds_count 2" in lines
+    assert any(ln.startswith("lat_seconds_sum ") for ln in lines)
+    # Each TYPE line appears exactly once per metric family.
+    assert len([ln for ln in lines if ln.startswith("# TYPE")]) == 3
+
+
+def test_empty_registry_exposition():
+    assert MetricsRegistry().prometheus_text() == ""
+    assert MetricsRegistry().totals() == {}
+
+
+def test_observability_rejects_off_level():
+    from repro.obs.observer import Observability
+    with pytest.raises(ValueError):
+        Observability("off")
+    with pytest.raises(ValueError):
+        Observability("bogus")
+
+
+def test_level_from_env(monkeypatch):
+    from repro.obs.observer import level_from_env
+    for raw, want in (("", "off"), ("0", "off"), ("off", "off"),
+                      ("1", "spans"), ("true", "spans"),
+                      ("spans", "spans"), ("metrics", "metrics")):
+        monkeypatch.setenv("REPRO_OBS", raw)
+        assert level_from_env() == want
+    monkeypatch.setenv("REPRO_OBS", "verbose")
+    with pytest.raises(ValueError):
+        level_from_env()

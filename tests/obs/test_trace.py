@@ -1,0 +1,103 @@
+"""SpanTracer mechanics: lanes, binding, span/instant placement."""
+
+from repro.obs.trace import CONTROL_TID, RACK_PID, SpanTracer
+
+
+def test_begin_is_unbound():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 1.0)
+    assert not ctx.bound
+    assert ctx.pid == -1 and ctx.tid == -1
+    assert ctx.function == "fn" and ctx.t_begin == 1.0
+
+
+def test_trace_ids_are_unique_and_increasing():
+    tracer = SpanTracer()
+    ids = [tracer.begin("fn", 0.0).trace_id for _ in range(5)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+    assert 0 not in ids  # 0 is reserved for node control spans
+
+
+def test_pid_assignment_first_use_order():
+    tracer = SpanTracer()
+    assert tracer.pid_for("node1") == 1
+    assert tracer.pid_for("node0") == 2
+    assert tracer.pid_for("node1") == 1  # stable on reuse
+    assert tracer.processes() == {"rack": RACK_PID, "node1": 1, "node0": 2}
+
+
+def test_lanes_recycle_smallest_first():
+    tracer = SpanTracer()
+    a, b, c = (tracer.begin(f, 0.0) for f in "abc")
+    tracer.bind(a, "node0")
+    tracer.bind(b, "node0")
+    tracer.bind(c, "node0")
+    assert (a.tid, b.tid, c.tid) == (1, 2, 3)
+    # Free the middle and first lanes; the next bind takes the smallest.
+    tracer.finish(a, 1.0)
+    tracer.finish(b, 1.0)
+    d = tracer.begin("d", 2.0)
+    tracer.bind(d, "node0")
+    assert d.tid == 1
+    e = tracer.begin("e", 2.0)
+    tracer.bind(e, "node0")
+    assert e.tid == 2
+    # Lane high-water mark is 3: no lane above c's was ever allocated.
+    assert tracer.lane_count(d.pid) == 3
+
+
+def test_rebind_releases_old_lane():
+    tracer = SpanTracer()
+    a = tracer.begin("a", 0.0)
+    tracer.bind(a, "node0")
+    old_pid, old_tid = a.pid, a.tid
+    tracer.bind(a, "node1")  # re-dispatch after crash
+    assert a.pid != old_pid
+    # The old lane is free again on node0.
+    b = tracer.begin("b", 1.0)
+    tracer.bind(b, "node0")
+    assert (b.pid, b.tid) == (old_pid, old_tid)
+
+
+def test_span_on_unbound_or_none_ctx_is_noop():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)
+    tracer.span(ctx, "exec", 0.0, 1.0)
+    tracer.span(None, "exec", 0.0, 1.0)
+    assert tracer.n_spans == 0
+
+
+def test_span_records_lane_and_trace_id():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)
+    tracer.bind(ctx, "node0")
+    tracer.span(ctx, "exec", 1.0, 2.5, args={"k": "v"})
+    (t0, t1, pid, tid, name, cat, trace_id, args), = tracer.spans
+    assert (t0, t1) == (1.0, 2.5)
+    assert (pid, tid) == (ctx.pid, ctx.tid)
+    assert name == "exec" and cat == "phase"
+    assert trace_id == ctx.trace_id
+    assert args == {"k": "v"}
+
+
+def test_node_span_uses_control_tid():
+    tracer = SpanTracer()
+    tracer.node_span("node0", "retire", 1.0, 2.0)
+    (t0, t1, pid, tid, name, cat, trace_id, args), = tracer.spans
+    assert pid == tracer.pid_for("node0") and tid == CONTROL_TID
+    assert cat == "node" and trace_id == 0
+
+
+def test_instant_placement_precedence():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)
+    tracer.bind(ctx, "node0")
+    tracer.instant("on_lane", 1.0, node="node0", ctx=ctx)
+    tracer.instant("on_node", 2.0, node="node0")
+    tracer.instant("on_rack", 3.0)
+    lane, node, rack = tracer.instants
+    assert lane[1:3] == (ctx.pid, ctx.tid)
+    assert node[1:3] == (tracer.pid_for("node0"), CONTROL_TID)
+    assert rack[1:3] == (RACK_PID, CONTROL_TID)
+    assert tracer.n_instants == 3

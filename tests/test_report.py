@@ -8,7 +8,8 @@ import pytest
 from repro.bench.harness import make_platform
 from repro.report import (comparison_markdown, invocations_to_csv,
                           run_result_summary, speedup_table,
-                          write_summary_json)
+                          summary_to_csv, write_summary_json)
+from repro.serverless.metrics import InvocationResult, LatencyRecorder
 from repro.serverless.runner import run_workload
 from repro.workloads.synthetic import make_w1_bursty
 
@@ -31,6 +32,55 @@ def test_invocations_to_csv_roundtrip(results, tmp_path):
     assert float(rows[0]["e2e_s"]) > 0
     assert rows[0]["function"] in {f for f in
                                    results[0].recorder.functions()}
+
+
+def _streaming_recorder():
+    rec = LatencyRecorder(keep_results=False)
+    for i in range(20):
+        fn = "IR" if i % 2 else "DH"
+        rec.record(InvocationResult(
+            function=fn, arrival=float(i), start_kind="warm",
+            startup=0.001, exec=0.05 + 0.001 * i,
+            e2e=0.051 + 0.001 * i))
+    return rec
+
+
+def test_invocations_to_csv_streaming_fallback(tmp_path):
+    """keep_results=False downgrades to the summary CSV with a warning."""
+    rec = _streaming_recorder()
+    path = tmp_path / "inv.csv"
+    with pytest.warns(UserWarning, match="keep_results=False"):
+        n = invocations_to_csv(rec, path)
+    assert n == 2  # one summary row per function, not per invocation
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert [r["function"] for r in rows] == ["DH", "IR"]
+    assert all(int(r["count"]) == 10 for r in rows)
+    assert float(rows[0]["p99_e2e_s"]) > 0
+
+
+def test_summary_to_csv_both_modes(results, tmp_path):
+    """The summary export answers in both recorder regimes."""
+    exact = summary_to_csv(results[0].recorder, tmp_path / "a.csv")
+    assert exact == len(results[0].recorder.functions())
+    streaming = summary_to_csv(_streaming_recorder(), tmp_path / "b.csv")
+    assert streaming == 2
+
+
+def test_run_result_summary_streaming_mode():
+    """run_result_summary works (and says so) on a streaming recorder."""
+    from repro.serverless.runner import RunResult
+    rec = _streaming_recorder()
+    result = RunResult(platform="t-cxl", workload="synthetic",
+                       recorder=rec, peak_memory_bytes=1 << 30,
+                       memory_breakdown_mb={}, memory_timeline=[],
+                       integral_mb_seconds=1.0, cpu_utilization=0.5,
+                       platform_stats={}, duration=20.0)
+    summary = run_result_summary(result)
+    assert summary["metrics_mode"] == "streaming"
+    assert summary["invocations"] == 20
+    assert summary["p99_e2e_s"] > 0
+    assert set(summary["per_function"]) == {"DH", "IR"}
 
 
 def test_run_result_summary_fields(results):
