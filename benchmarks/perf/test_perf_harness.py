@@ -61,3 +61,12 @@ def test_quick_harness_report(tmp_path):
     assert e2e["optimized"]["wall_s"] > 0
     assert e2e["reference"]["wall_s"] > 0
     assert e2e["optimized"]["invocations"] == e2e["reference"]["invocations"]
+    # Scale-out must mean scale-OUT: the rack run spreads load over every
+    # node instead of collapsing onto node0 (the old warm-affinity
+    # degenerate case where one host served 100% of the trace).
+    counts = e2e["optimized"]["dispatch_counts"]
+    assert len(counts) == scale["n_nodes"]
+    total = sum(counts.values())
+    assert total > 0
+    assert max(counts.values()) <= 0.5 * total
+    assert counts == e2e["reference"]["dispatch_counts"]

@@ -11,12 +11,14 @@ from repro.bench.harness import (format_table, make_platform,
 from repro.bench import experiments_container as container
 from repro.bench import experiments_agents as agents
 from repro.bench import experiments_faults as faults
+from repro.bench import experiments_overload as overload
 
 __all__ = [
     "PLATFORM_NAMES",
     "agents",
     "container",
     "faults",
+    "overload",
     "format_table",
     "make_platform",
     "run_platform_workload",

@@ -194,11 +194,20 @@ def micro_suite(n: int = 4):
 def _run_cluster_scale(workload, suite, n_nodes: int, seed: int,
                        stream_only: bool) -> Dict:
     """One timed rack run; built fresh so construction-time optflag
-    snapshots reflect the caller's flag context."""
-    from repro.serverless.cluster import make_trenv_cluster
+    snapshots reflect the caller's flag context.
+
+    Dispatch is round-robin, not the default warm-affinity: with
+    zero-exec micro functions every load tie breaks to node0 and warm
+    affinity then pins the entire trace there — a one-node rack in
+    disguise.  Round-robin keeps all ``n_nodes`` hosts doing real work
+    (the point of a scale-out bench) while staying deterministic; the
+    warm-affinity/index decision path is measured separately in the
+    ``dispatch`` hot-path section."""
+    from repro.serverless.cluster import RoundRobin, make_trenv_cluster
 
     t0 = time.perf_counter()
-    cluster = make_trenv_cluster(n_nodes, CXLPool(128 * GB), seed=seed)
+    cluster = make_trenv_cluster(n_nodes, CXLPool(128 * GB), seed=seed,
+                                 policy=RoundRobin())
     for platform in cluster.platforms:
         for profile in suite:
             platform.register_function(profile)

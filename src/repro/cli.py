@@ -119,6 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("off", "metrics", "spans"),
                        help="per-shard observability; shard registries "
                             "are merged into the sweep report")
+    overload = sub.add_parser(
+        "overload",
+        help="overload + chaos control-plane benchmark "
+             "(writes BENCH_overload.json)")
+    overload.add_argument("--quick", action="store_true",
+                          help="CI-sized surge: smaller rack, shorter "
+                               "overload window")
+    overload.add_argument("--seed", type=int, default=1)
+    overload.add_argument("--out", default="BENCH_overload.json",
+                          help="output path (default: BENCH_overload.json)")
+    overload.add_argument("--json", action="store_true",
+                          help="emit raw JSON instead of pretty print")
+    overload.add_argument("--profile", action="store_true",
+                          help="cProfile the run; print top-25 by cumulative")
+    overload.add_argument("--obs-level", default="off",
+                          choices=("off", "metrics", "spans"),
+                          help="observe the runs: metrics embeds the "
+                               "registry in the report, spans also "
+                               "writes a Chrome trace")
+    overload.add_argument("--trace-out", default="overload_trace.json",
+                          help="Chrome-trace path for --obs-level spans")
     trace = sub.add_parser(
         "trace",
         help="run a scenario under repro.obs and export a Perfetto trace")
@@ -181,6 +202,7 @@ def main(argv=None) -> int:
             print(name)
         print("perf")
         print("sweep")
+        print("overload")
         print("trace")
         print("lint")
         return 0
@@ -192,6 +214,27 @@ def main(argv=None) -> int:
         runner = lambda: run_sweep(jobs=args.jobs, quick=args.quick,
                                    out_path=args.out,
                                    obs_level=args.obs_level)
+    elif args.command == "overload":
+        from repro.bench.experiments_overload import run_overload_chaos
+
+        def _overload():
+            if args.obs_level != "off":
+                from repro.obs.export import write_chrome_trace
+                from repro.obs.observer import observed
+                with observed(args.obs_level) as obs:
+                    report = run_overload_chaos(seed=args.seed,
+                                                quick=args.quick)
+                report["obs"] = obs.registry.to_dict()
+                if obs.tracer is not None:
+                    write_chrome_trace(obs.tracer, args.trace_out)
+            else:
+                report = run_overload_chaos(seed=args.seed,
+                                            quick=args.quick)
+            with open(args.out, "w") as fh:
+                json.dump(_jsonable(report), fh, indent=2)
+                fh.write("\n")
+            return report
+        runner = _overload
     elif args.command == "trace":
         from repro.obs.capture import run_traced_scenario
         runner = lambda: run_traced_scenario(

@@ -1,0 +1,43 @@
+"""repro.control — the overload-resilience control plane.
+
+Admission control and load shedding, circuit breakers on shared
+resources, a cluster-wide retry budget, a per-attempt/per-invocation
+timeout hierarchy, and per-function SLO burn-rate accounting — layered
+between workload arrival and cluster dispatch, off by default, and
+deterministic end to end (virtual clock only, no RNG, no wall time).
+
+Entry points: build a :class:`ControlConfig` (or start from
+:func:`overload_defaults`) and pass it to
+:class:`repro.serverless.cluster.Cluster` / ``make_trenv_cluster`` —
+the cluster wires up a :class:`ControlPlane` and routes every
+invocation through it.  See ``docs/robustness.md``.
+"""
+
+from repro.control.admission import AdmissionController, PendingEntry
+from repro.control.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.control.config import (SHED_POLICIES, BreakerConfig,
+                                  ControlConfig, RetryBudgetConfig,
+                                  SLOTarget, TimeoutConfig,
+                                  overload_defaults)
+from repro.control.plane import ControlPlane
+from repro.control.retry_budget import RetryBudget
+from repro.control.slo import SLOTracker
+
+__all__ = [
+    "AdmissionController",
+    "PendingEntry",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ControlConfig",
+    "BreakerConfig",
+    "RetryBudgetConfig",
+    "SLOTarget",
+    "TimeoutConfig",
+    "SHED_POLICIES",
+    "ControlPlane",
+    "RetryBudget",
+    "SLOTracker",
+    "overload_defaults",
+]

@@ -1,0 +1,167 @@
+"""The assembled control plane: one object wired between arrival and
+dispatch.
+
+:class:`ControlPlane` owns the four mechanisms and the glue between
+them:
+
+* the :class:`~repro.control.admission.AdmissionController` (front
+  door: concurrency caps, bounded queues, shedding);
+* :class:`~repro.control.breaker.CircuitBreaker` families — one per
+  dispatch target (node) and one per (node, pool) tier — created
+  lazily, keyed deterministically by name;
+* the cluster-wide :class:`~repro.control.retry_budget.RetryBudget`;
+* the :class:`~repro.control.slo.SLOTracker` burn-rate accountant,
+  which feeds both admission (burn shedding) and the platforms
+  (degrade mode).
+
+The cluster dispatcher calls :meth:`filter_candidates` /
+:meth:`observe_attempt` around every dispatch attempt and
+:meth:`observe_result` on completion; platforms consult
+:meth:`pool_breaker` and :meth:`degrade_active` inside their fault
+ladders.  :meth:`invocation_deadline` / :meth:`attempt_deadline`
+resolve the timeout hierarchy onto the virtual clock.
+
+Everything here is host-side bookkeeping on simulated inputs: no Delay,
+no RNG, no wall clock — control decisions are pure functions of the
+virtual-time history, so controlled runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.admission import AdmissionController
+from repro.control.breaker import CircuitBreaker
+from repro.control.config import ControlConfig
+from repro.control.retry_budget import RetryBudget
+from repro.control.slo import SLOTracker
+from repro.sim.engine import Simulator
+
+
+class ControlPlane:
+    """Overload-resilience machinery for one cluster (or platform) run."""
+
+    def __init__(self, sim: Simulator, config: ControlConfig):
+        self.sim = sim
+        self.config = config
+        self.slo = SLOTracker(config)
+        self.admission = AdmissionController(sim, config, self.slo)
+        self.budget = RetryBudget(config.retry_budget)
+        self._node_breakers: Dict[str, CircuitBreaker] = {}
+        self._pool_breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        #: reason -> count for admitted-but-never-completed invocations.
+        self.abort_counts: Dict[str, int] = {}
+        self.abort_log: List[Tuple[str, float, str]] = []
+        self.completions = 0
+
+    # -- breakers -------------------------------------------------------------
+
+    def node_breaker(self, node: str) -> Optional[CircuitBreaker]:
+        if self.config.node_breaker is None:
+            return None
+        breaker = self._node_breakers.get(node)
+        if breaker is None:
+            breaker = self._node_breakers[node] = CircuitBreaker(
+                f"node/{node}", self.config.node_breaker)
+        return breaker
+
+    def pool_breaker(self, node: str, pool: str
+                     ) -> Optional[CircuitBreaker]:
+        if self.config.pool_breaker is None:
+            return None
+        key = (node, pool)
+        breaker = self._pool_breakers.get(key)
+        if breaker is None:
+            breaker = self._pool_breakers[key] = CircuitBreaker(
+                f"pool/{node}/{pool}", self.config.pool_breaker)
+        return breaker
+
+    def filter_candidates(self, platforms: Sequence, now: float) -> List:
+        """Drop candidates whose dispatch breaker refuses traffic.
+
+        Order is preserved (policies depend on it).  A True ``allow``
+        in the half-open state claims a probe slot, so the caller must
+        report the attempt outcome via :meth:`observe_attempt`.
+        """
+        if self.config.node_breaker is None:
+            return list(platforms)
+        allowed = []
+        for platform in platforms:
+            breaker = self.node_breaker(platform.node.name)
+            if breaker.allow(now):
+                allowed.append(platform)
+        return allowed
+
+    def observe_attempt(self, node: str, now: float, ok: bool,
+                        latency: float) -> None:
+        """Feed one dispatch attempt's outcome to the node breaker."""
+        breaker = self.node_breaker(node)
+        if breaker is not None:
+            breaker.record(now, ok, latency)
+
+    # -- SLO + completion accounting ------------------------------------------
+
+    def observe_result(self, function: str, now: float, e2e: float
+                       ) -> None:
+        self.completions += 1
+        self.slo.observe(function, now, e2e)
+
+    def record_abort(self, function: str, arrival: float, now: float,
+                     reason: str) -> str:
+        """An admitted invocation was given up on (deadline, budget...)."""
+        self.abort_counts[reason] = self.abort_counts.get(reason, 0) + 1
+        self.abort_log.append((function, arrival, reason))
+        from repro.obs import hooks as obs_hooks
+        obs = obs_hooks.active
+        if obs is not None:
+            obs.registry.inc("aborts_total", function=function,
+                             reason=reason)
+            if obs.tracer is not None:
+                obs.tracer.instant("abort", now,
+                                   args={"function": function,
+                                         "reason": reason})
+        return reason
+
+    def degrade_active(self, now: float) -> bool:
+        """Platforms: skip pool retries, degrade immediately."""
+        return self.slo.degrade_active(now)
+
+    # -- timeout hierarchy ----------------------------------------------------
+
+    def invocation_deadline(self, arrival: float) -> Optional[float]:
+        per_inv = self.config.timeouts.per_invocation
+        return None if per_inv is None else arrival + per_inv
+
+    def attempt_deadline(self, now: float,
+                         invocation_deadline: Optional[float]
+                         ) -> Optional[float]:
+        """Absolute deadline of an attempt starting at ``now``.
+
+        The per-attempt timeout never extends past the invocation
+        deadline (the hierarchy is nested, not parallel).
+        """
+        per_att = self.config.timeouts.per_attempt
+        if per_att is None:
+            return invocation_deadline
+        deadline = now + per_att
+        if invocation_deadline is not None:
+            deadline = min(deadline, invocation_deadline)
+        return deadline
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Deterministic run summary (sorted keys throughout)."""
+        return {
+            "admission": self.admission.summary(),
+            "aborts": dict(sorted(self.abort_counts.items())),
+            "completions": self.completions,
+            "retry_budget": self.budget.summary(),
+            "node_breakers": {
+                name: b.summary()
+                for name, b in sorted(self._node_breakers.items())},
+            "pool_breakers": {
+                f"{node}/{pool}": b.summary()
+                for (node, pool), b in sorted(self._pool_breakers.items())},
+            "slo": self.slo.report(self.sim.now),
+        }

@@ -48,3 +48,28 @@ class NodeCrashedError(FaultError):
     def __init__(self, node: str):
         super().__init__(f"node {node!r} crashed")
         self.node = node
+
+
+class DeadlineExceededError(FaultError):
+    """An invocation overran a control-plane deadline and was aborted.
+
+    Raised by the overload control plane (:mod:`repro.control`) when the
+    per-invocation timeout fires; platforms treat it like a crash for
+    cleanup purposes (drop the half-built instance) but dispatchers must
+    *not* re-dispatch — the deadline covers every attempt.
+    """
+
+    def __init__(self, what: str, deadline: float):
+        super().__init__(f"{what}: deadline {deadline:.6f} exceeded")
+        self.what = what
+        self.deadline = deadline
+
+
+class AttemptTimeoutError(DeadlineExceededError):
+    """One dispatch attempt overran its per-attempt timeout.
+
+    A sub-deadline of :class:`DeadlineExceededError` (the timeout
+    hierarchy: per-attempt < per-invocation): the dispatcher may retry
+    on a different host, budget permitting, because only this attempt —
+    not the whole invocation — is out of time.
+    """

@@ -1,15 +1,20 @@
-"""Bounded-retry policy with exponential backoff.
+"""Bounded-retry policy with exponential backoff and seeded jitter.
 
 Retries are simulated as :class:`~repro.sim.engine.Delay`s, so backoff
 consumes virtual time (during which an injected flap may heal) without
-burning CPU.  The policy is deliberately jitter-free: with one global
-virtual clock, deterministic backoff keeps whole chaos runs bit-identical
-for a given seed.
+burning CPU.  Backoff is deterministic by default; optional jitter
+(``jitter > 0``) de-synchronises retry storms, and every jitter draw
+flows through the caller's :class:`~repro.sim.rng.SeededRNG` substream —
+never module-level RNG state — so whole chaos runs stay bit-identical
+for a given seed (two identical runs produce identical retry timelines).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.rng import SeededRNG
 
 
 @dataclass(frozen=True)
@@ -19,20 +24,40 @@ class RetryPolicy:
     After ``max_retries`` failed attempts the platform drops down the
     degradation ladder (fallback pool, then local copy restore) instead
     of erroring the invocation.
+
+    ``jitter`` is the maximum fraction of the base backoff added as a
+    uniform random spread: ``backoff(attempt, rng)`` waits
+    ``base * (1 + U[0, jitter))`` (capped), with ``U`` drawn from the
+    supplied seeded RNG.  With the default ``jitter == 0`` no draw is
+    made at all, so existing seeded streams are untouched.
     """
 
     max_retries: int = 2
     backoff_base: float = 1e-3      # first retry waits 1 ms
     backoff_multiplier: float = 4.0
     backoff_cap: float = 0.1        # never stall an invocation > 100 ms/try
+    jitter: float = 0.0             # max fractional spread per backoff
 
     def __post_init__(self):
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base <= 0 or self.backoff_multiplier < 1:
             raise ValueError("invalid backoff parameters")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
 
-    def backoff(self, attempt: int) -> float:
-        """Wait before retry number ``attempt`` (0-based)."""
-        return min(self.backoff_cap,
-                   self.backoff_base * self.backoff_multiplier ** attempt)
+    def backoff(self, attempt: int,
+                rng: Optional[SeededRNG] = None) -> float:
+        """Wait before retry number ``attempt`` (0-based).
+
+        ``rng`` is consulted only when ``jitter > 0``; passing one with
+        ``jitter == 0`` is free (no state is consumed), so callers may
+        always thread their substream through.
+        """
+        base = self.backoff_base * self.backoff_multiplier ** attempt
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError(
+                    "jittered backoff needs a seeded RNG substream")
+            base *= 1.0 + rng.uniform(0.0, self.jitter)
+        return min(self.backoff_cap, base)

@@ -24,7 +24,8 @@ import heapq
 import itertools
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
-from repro.faults.errors import NodeCrashedError, PoolFault
+from repro.faults.errors import (DeadlineExceededError, NodeCrashedError,
+                                 PoolFault, PoolUnavailableError)
 from repro.faults.retry import RetryPolicy
 from repro.mem.address_space import AddressSpace
 from repro.mem.layout import PAGE_SIZE
@@ -207,6 +208,13 @@ class ServerlessPlatform:
         self._admission_queues: Dict[str, List] = {}
         # -- failure handling (repro.faults) --
         self.retry_policy = RetryPolicy()
+        #: Substream for retry-backoff jitter; untouched while the
+        #: policy's jitter is 0, so seeded results are unchanged.
+        self.retry_rng = SeededRNG(seed, f"{self.name}/retry")
+        #: Optional repro.control.ControlPlane — set by the cluster when
+        #: a ControlConfig is armed; None means no control plane (the
+        #: default, byte-identical to the pre-control platform).
+        self.control = None
         #: Next rung of the degradation ladder after the primary pool
         #: (typically a NASPool); the final rung is a local batched copy.
         self.fallback_pool: Optional[MemoryPool] = None
@@ -324,7 +332,12 @@ class ServerlessPlatform:
                 if own_ctx:
                     tracer.finish(ctx, self.node.now)
             cause = intr.cause
-            if not isinstance(cause, NodeCrashedError):
+            if not isinstance(cause,
+                              (NodeCrashedError, DeadlineExceededError)):
+                # Unattributed interrupt: treat as a crash (historical
+                # behaviour).  Deadline interrupts pass through typed so
+                # the dispatcher can tell "host died" from "out of
+                # time" — only the former is worth re-dispatching.
                 cause = NodeCrashedError(self.node.name)
             raise cause from None
         finally:
@@ -500,6 +513,27 @@ class ServerlessPlatform:
 
     # -- fault recovery (repro.faults) --------------------------------------------
 
+    def _pool_breaker(self, pool: MemoryPool):
+        """This node's circuit breaker for ``pool``, or None (no plane)."""
+        if self.control is None:
+            return None
+        return self.control.pool_breaker(self.node.name, pool.name)
+
+    def _should_degrade_early(self) -> bool:
+        """Control-plane veto on the next pool retry.
+
+        With the plane armed, a retry is skipped (straight down the
+        degradation ladder) when SLO budgets are already burning at
+        degrade level — a slow certain success beats a fast maybe — or
+        when the cluster-wide retry budget is exhausted.  Without a
+        plane this is always False and the ladder is untouched.
+        """
+        if self.control is None:
+            return False
+        if self.control.degrade_active(self.node.now):
+            return True
+        return not self.control.budget.try_spend("pool-retry")
+
     def _fetch_with_recovery(self, pool: MemoryPool, npages: int
                              ) -> Generator:
         """Timed: fetch cost with bounded retries, then degradation.
@@ -508,18 +542,31 @@ class ServerlessPlatform:
         heal mid-invocation and the retry then succeeds at full speed.
         Returns ``(cpu_seconds, retries, degraded)``.
         """
+        breaker = self._pool_breaker(pool)
+        if breaker is not None and not breaker.allow(self.node.now):
+            # Tier declared unhealthy: don't pile more work on it.
+            return self._degraded_fetch_time(
+                pool, npages,
+                PoolUnavailableError(pool.name, "breaker open")), 0, True
         attempt = 0
         while True:
             try:
-                return pool.fetch_time(npages, self._inflight_fetches), \
-                    attempt, False
+                cost = pool.fetch_time(npages, self._inflight_fetches)
             except PoolFault as fault:
                 self.pool_fault_count += 1
-                if attempt >= self.retry_policy.max_retries:
+                if breaker is not None:
+                    breaker.record(self.node.now, False)
+                if attempt >= self.retry_policy.max_retries \
+                        or self._should_degrade_early():
                     return self._degraded_fetch_time(pool, npages, fault), \
                         attempt, True
-                yield Delay(self.retry_policy.backoff(attempt))
+                yield Delay(self.retry_policy.backoff(attempt,
+                                                      self.retry_rng))
                 attempt += 1
+                continue
+            if breaker is not None:
+                breaker.record(self.node.now, True, cost)
+            return cost, attempt, False
 
     def _loads_with_recovery(self, inst: Instance, nloads: int
                              ) -> Generator:
@@ -531,19 +578,32 @@ class ServerlessPlatform:
                 break
         if pool is None:
             return 0.0, 0, False
+        breaker = self._pool_breaker(pool)
+        if breaker is not None and not breaker.allow(self.node.now):
+            return self._degraded_fetch_time(
+                pool, nloads,
+                PoolUnavailableError(pool.name, "breaker open")), 0, True
         attempt = 0
         while True:
             try:
-                return pool.read_overhead(nloads), attempt, False
+                cost = pool.read_overhead(nloads)
             except PoolFault as fault:
                 self.pool_fault_count += 1
-                if attempt >= self.retry_policy.max_retries:
+                if breaker is not None:
+                    breaker.record(self.node.now, False)
+                if attempt >= self.retry_policy.max_retries \
+                        or self._should_degrade_early():
                     # Device gone: every load becomes a remote fetch on
                     # the fallback path.
                     return self._degraded_fetch_time(pool, nloads, fault), \
                         attempt, True
-                yield Delay(self.retry_policy.backoff(attempt))
+                yield Delay(self.retry_policy.backoff(attempt,
+                                                      self.retry_rng))
                 attempt += 1
+                continue
+            if breaker is not None:
+                breaker.record(self.node.now, True, cost)
+            return cost, attempt, False
 
     def _degraded_fetch_time(self, pool: MemoryPool, npages: int,
                              fault: PoolFault) -> float:

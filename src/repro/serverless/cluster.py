@@ -26,12 +26,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import optflags
-from repro.faults.errors import NodeCrashedError
+from repro.control.admission import GO
+from repro.control.config import ControlConfig
+from repro.control.plane import ControlPlane
+from repro.faults.errors import (AttemptTimeoutError, DeadlineExceededError,
+                                 NodeCrashedError)
 from repro.node import Node
 from repro.obs import hooks as obs_hooks
 from repro.serverless.base import ServerlessPlatform
 from repro.serverless.metrics import LatencyRecorder
-from repro.sim.engine import Delay, Simulator
+from repro.sim.engine import Delay, Interrupt, Simulator
 from repro.workloads.functions import function_by_name
 from repro.workloads.synthetic import Workload
 
@@ -195,6 +199,8 @@ class ClusterResult:
     node_crashes: int = 0
     #: (function, arrival, reason) for invocations that never completed.
     failed: List[Tuple[str, float, str]] = field(default_factory=list)
+    #: ControlPlane.summary() when the control plane was armed, else None.
+    control: Optional[Dict] = None
 
 
 class Cluster:
@@ -211,7 +217,8 @@ class Cluster:
     max_dispatch_attempts = 200
 
     def __init__(self, platforms: Sequence[ServerlessPlatform],
-                 policy: Optional[DispatchPolicy] = None):
+                 policy: Optional[DispatchPolicy] = None,
+                 control: Optional[ControlConfig] = None):
         if not platforms:
             raise ValueError("cluster needs at least one platform")
         sims = {id(p.node.sim) for p in platforms}
@@ -230,9 +237,18 @@ class Cluster:
             and type(self.policy) in (WarmAffinity, LeastLoaded)
             else None)
         self._batch_arrivals = optflags.batch_arrivals
+        # The control plane is armed by config presence, never a flag:
+        # with control=None (the default) dispatch takes the exact
+        # pre-control path and golden results are unchanged.
+        self.control_plane: Optional[ControlPlane] = None
+        if control is not None:
+            self.control_plane = ControlPlane(self.sim, control)
+            for platform in self.platforms:
+                platform.control = self.control_plane
         self.dispatch_counts: Dict[str, int] = {}
         self.redispatches = 0
         self.node_crashes = 0
+        self.attempt_timeouts = 0
         #: (function, arrival, reason) for invocations we gave up on.
         self.failed: List[Tuple[str, float, str]] = []
         self._inflight: List[Dict] = []
@@ -261,6 +277,34 @@ class Cluster:
         if platform is None:
             raise KeyError(f"recover_node: unknown node {name!r}")
         platform.recover()
+
+    # -- control-plane deadline watchdogs -----------------------------------
+
+    def _arm_invocation_watchdog(self, slot: Dict, deadline: float) -> None:
+        """Interrupt the invocation at ``deadline`` unless it finished.
+
+        The guard is the slot's ``alive`` flag (cleared on every exit
+        path), so a watchdog outliving its invocation is a no-op — the
+        classic stale-timer hazard of ``call_at`` callbacks.
+        """
+        def fire():
+            if slot["alive"] and slot["waiter"] is not None:
+                slot["waiter"].interrupt(
+                    DeadlineExceededError("invocation", deadline))
+        self.sim.call_at(deadline, fire)
+
+    def _arm_attempt_watchdog(self, slot: Dict, deadline: float) -> None:
+        """Per-attempt timer: guarded by the attempt generation counter,
+        bumped when the attempt ends, so only the live attempt can be
+        timed out."""
+        gen = slot["gen"]
+
+        def fire():
+            if slot["alive"] and slot["gen"] == gen \
+                    and slot["waiter"] is not None:
+                slot["waiter"].interrupt(
+                    AttemptTimeoutError("attempt", deadline))
+        self.sim.call_at(deadline, fire)
 
     # -- workload driving ---------------------------------------------------
 
@@ -348,9 +392,153 @@ class Cluster:
                 if tracer is not None:
                     tracer.finish(ctx, self.sim.now)
 
+        def dispatch_controlled(event, slot):
+            """The armed-control-plane dispatch path.
+
+            Admission (queue/shed) in front, breaker-filtered candidate
+            sets, per-attempt and per-invocation deadline watchdogs, and
+            budget-gated re-dispatch.  Never uses the dispatch index:
+            breaker filtering changes the candidate set, so index picks
+            would not equal scan picks.
+            """
+            plane = self.control_plane
+            sim = self.sim
+            obs = obs_hooks.active
+            tracer = obs.tracer if obs is not None else None
+            ctx = None
+            if tracer is not None:
+                ctx = tracer.begin(event.function, sim.now)
+            try:
+                deadline = plane.invocation_deadline(event.time)
+                status, entry = plane.admission.request(
+                    event.function, event.time, sim.now, deadline)
+                if status == "shed":
+                    self.failed.append((event.function, event.time,
+                                        f"shed:{entry}"))
+                    return
+                if status == "wait":
+                    try:
+                        signal = yield entry.gate
+                    except Interrupt:
+                        plane.admission.cancel(entry)
+                        raise
+                    if signal != GO:
+                        reason = signal.split(":", 1)[1]
+                        self.failed.append((event.function, event.time,
+                                            f"shed:{reason}"))
+                        return
+                # Admitted: the slot is ours until every exit below.
+                plane.budget.earn()
+                slot["alive"] = True
+                if deadline is not None:
+                    self._arm_invocation_watchdog(slot, deadline)
+                abort_reason = None
+                try:
+                    excluded: set = set()
+                    for _attempt in range(self.max_dispatch_attempts):
+                        now = sim.now
+                        if deadline is not None and now >= deadline:
+                            abort_reason = "deadline"
+                            break
+                        candidates = [p for p in self.platforms
+                                      if not p.crashed
+                                      and p.node.name not in excluded]
+                        if not candidates:
+                            excluded.clear()
+                            yield Delay(self.redispatch_wait)
+                            continue
+                        allowed = plane.filter_candidates(candidates, now)
+                        if not allowed:
+                            # Every healthy node's breaker is open:
+                            # back off, then rescan the whole rack.
+                            excluded.clear()
+                            yield Delay(self.redispatch_wait)
+                            continue
+                        platform = self.policy.pick(allowed,
+                                                    event.function)
+                        key = platform.node.name
+                        self.dispatch_counts[key] = (
+                            self.dispatch_counts.get(key, 0) + 1)
+                        slot["node"] = key
+                        if obs is not None:
+                            obs.registry.inc("dispatches_total", node=key)
+                            if tracer is not None:
+                                tracer.bind(ctx, key)
+                                tracer.span(ctx, "dispatch", now, sim.now,
+                                            args={"node": key,
+                                                  "attempt": _attempt})
+                        att_deadline = plane.attempt_deadline(now, deadline)
+                        if att_deadline is not None and att_deadline > now:
+                            self._arm_attempt_watchdog(slot, att_deadline)
+                        try:
+                            result = yield platform.invoke(
+                                event.function, arrival=event.time, ctx=ctx)
+                            plane.observe_attempt(key, sim.now, True,
+                                                  sim.now - now)
+                            plane.observe_result(event.function, sim.now,
+                                                 result.e2e)
+                            return
+                        except NodeCrashedError:
+                            plane.observe_attempt(key, sim.now, False,
+                                                  sim.now - now)
+                            excluded.add(key)
+                            self.redispatches += 1
+                            if obs is not None:
+                                obs.registry.inc("redispatches_total")
+                                if tracer is not None:
+                                    tracer.instant("redispatch", sim.now,
+                                                   ctx=ctx,
+                                                   args={"from": key})
+                            if not plane.budget.try_spend("redispatch"):
+                                abort_reason = "retry-budget"
+                                break
+                        except AttemptTimeoutError:
+                            plane.observe_attempt(key, sim.now, False,
+                                                  sim.now - now)
+                            excluded.add(key)
+                            self.attempt_timeouts += 1
+                            if obs is not None:
+                                obs.registry.inc("attempt_timeouts_total",
+                                                 node=key)
+                            if not plane.budget.try_spend(
+                                    "attempt-timeout"):
+                                abort_reason = "retry-budget"
+                                break
+                        except DeadlineExceededError:
+                            plane.observe_attempt(key, sim.now, False,
+                                                  sim.now - now)
+                            abort_reason = "deadline"
+                            break
+                        finally:
+                            slot["node"] = None
+                            slot["gen"] += 1   # disarm attempt watchdog
+                    else:
+                        abort_reason = "dispatch-budget"
+                except Interrupt as intr:
+                    # A deadline fired while this task sat between
+                    # attempts (backoff / rescan Delay).
+                    if isinstance(intr.cause, DeadlineExceededError):
+                        abort_reason = "deadline"
+                    else:
+                        raise
+                finally:
+                    slot["alive"] = False
+                    plane.admission.release(event.function, sim.now)
+                # Only abort exits reach here (success returned above).
+                plane.record_abort(event.function, event.time, sim.now,
+                                   abort_reason)
+                self.failed.append((event.function, event.time,
+                                    f"abort:{abort_reason}"))
+            finally:
+                if tracer is not None:
+                    tracer.finish(ctx, sim.now)
+
+        dispatch_fn = (dispatch if self.control_plane is None
+                       else dispatch_controlled)
+
         def arrival(event, slot):
             yield Delay(max(0.0, event.time - self.sim.now))
-            yield from dispatch(event, slot)
+            yield from dispatch_fn(event, slot)
 
         slots: List[Dict] = []
         waiters = []
@@ -362,16 +550,18 @@ class Cluster:
 
             def schedule():
                 for e in workload.events:
-                    slot = {"node": None, "waiter": None}
+                    slot = {"node": None, "waiter": None,
+                            "alive": False, "gen": 0}
                     slots.append(slot)
-                    yield (max(now, e.time), dispatch(e, slot))
+                    yield (max(now, e.time), dispatch_fn(e, slot))
 
             waiters = self.sim.spawn_at_many(schedule())
             for slot, waiter in zip(slots, waiters):
                 slot["waiter"] = waiter
         else:
             for i, e in enumerate(workload.events):
-                slot = {"node": None, "waiter": None}
+                slot = {"node": None, "waiter": None,
+                        "alive": False, "gen": 0}
                 waiter = self.sim.spawn(arrival(e, slot), name=f"cinv-{i}")
                 slot["waiter"] = waiter
                 slots.append(slot)
@@ -395,6 +585,10 @@ class Cluster:
         first = self.platforms[0]
         if hasattr(first, "pool"):
             pool_mb = first.pool.used_bytes / (1 << 20)
+        control_summary = None
+        if self.control_plane is not None:
+            control_summary = self.control_plane.summary()
+            control_summary["attempt_timeouts"] = self.attempt_timeouts
         return ClusterResult(
             recorder=merged,
             per_node_peak_mb=peaks,
@@ -406,17 +600,21 @@ class Cluster:
             redispatches=self.redispatches,
             node_crashes=self.node_crashes,
             failed=list(self.failed),
+            control=control_summary,
         )
 
 
 def make_trenv_cluster(n_nodes: int, pool, store=None, seed: int = 0,
                        cores: int = 64,
                        policy: Optional[DispatchPolicy] = None,
-                       config=None, fallback_pool=None) -> Cluster:
+                       config=None, fallback_pool=None,
+                       control: Optional[ControlConfig] = None) -> Cluster:
     """A rack of TrEnv hosts sharing one memory pool and dedup store.
 
     ``fallback_pool`` (e.g. a NASPool) becomes every host's degradation
-    target should the shared pool go offline mid-run."""
+    target should the shared pool go offline mid-run.  ``control`` arms
+    the overload control plane (:mod:`repro.control`); None (default)
+    keeps the uncontrolled dispatch path bit-identical to before."""
     from repro.core.platform import TrEnvPlatform
     from repro.mem.pools import DedupStore
 
@@ -430,4 +628,4 @@ def make_trenv_cluster(n_nodes: int, pool, store=None, seed: int = 0,
         if fallback_pool is not None:
             platform.set_fallback_pool(fallback_pool)
         platforms.append(platform)
-    return Cluster(platforms, policy=policy)
+    return Cluster(platforms, policy=policy, control=control)

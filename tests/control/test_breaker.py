@@ -1,0 +1,121 @@
+"""Circuit-breaker state machine on the virtual clock."""
+
+from repro.control.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.control.config import BreakerConfig
+
+
+def make_breaker(**kwargs):
+    defaults = dict(window=10.0, min_samples=4, failure_threshold=0.5,
+                    open_duration=5.0, half_open_probes=2, close_after=2)
+    defaults.update(kwargs)
+    return CircuitBreaker("test", BreakerConfig(**defaults))
+
+
+def trip(breaker, at=0.0, n=4):
+    for i in range(n):
+        breaker.record(at + 0.1 * i, ok=False)
+
+
+class TestClosedState:
+    def test_allows_and_stays_closed_on_success(self):
+        b = make_breaker()
+        for i in range(20):
+            assert b.allow(float(i))
+            b.record(float(i), ok=True)
+        assert b.state == CLOSED
+        assert b.transitions == 0
+
+    def test_needs_min_samples_before_opening(self):
+        b = make_breaker(min_samples=4)
+        for i in range(3):
+            b.record(float(i), ok=False)
+        assert b.state == CLOSED          # 3 failures, below min_samples
+        b.record(3.0, ok=False)
+        assert b.state == OPEN
+
+    def test_failure_fraction_threshold(self):
+        b = make_breaker(min_samples=4, failure_threshold=0.5)
+        # 2 failures out of 4 = exactly 0.5: opens (>= threshold).
+        b.record(0.0, ok=True)
+        b.record(0.1, ok=True)
+        b.record(0.2, ok=False)
+        b.record(0.3, ok=False)
+        assert b.state == OPEN
+
+    def test_window_prunes_old_failures(self):
+        b = make_breaker(window=10.0, min_samples=4)
+        b.record(0.0, ok=False)
+        b.record(0.1, ok=False)
+        # Much later: the early failures have left the window, so these
+        # two successes + one failure never reach the threshold.
+        b.record(20.0, ok=True)
+        b.record(20.1, ok=True)
+        b.record(20.2, ok=True)
+        b.record(20.3, ok=False)
+        assert b.state == CLOSED
+
+    def test_latency_threshold(self):
+        b = make_breaker(min_samples=4, failure_threshold=1.0,
+                         latency_threshold=1.0)
+        for i in range(4):
+            b.record(0.1 * i, ok=True, latency=2.0)
+        assert b.state == OPEN            # all successes, but slow
+
+
+class TestOpenAndHalfOpen:
+    def test_open_refuses_until_cooloff(self):
+        b = make_breaker(open_duration=5.0)
+        trip(b)
+        assert b.state == OPEN
+        assert not b.allow(1.0)
+        assert b.rejections == 1
+        # Cool-off elapsed: half-opens and hands out a probe slot.
+        assert b.allow(6.0)
+        assert b.state == HALF_OPEN
+
+    def test_probe_slots_bounded(self):
+        b = make_breaker(open_duration=5.0, half_open_probes=2)
+        trip(b)
+        assert b.allow(6.0)
+        assert b.allow(6.1)
+        assert not b.allow(6.2)          # both probe slots claimed
+
+    def test_probe_successes_close(self):
+        b = make_breaker(close_after=2)
+        trip(b)
+        assert b.allow(6.0) and b.allow(6.1)
+        b.record(6.5, ok=True)
+        assert b.state == HALF_OPEN      # one success, need two
+        b.record(6.6, ok=True)
+        assert b.state == CLOSED
+        # The window restarted: old failures don't linger.
+        assert b.allow(7.0)
+        b.record(7.0, ok=False)
+        assert b.state == CLOSED
+
+    def test_probe_failure_reopens(self):
+        b = make_breaker(open_duration=5.0)
+        trip(b)
+        assert b.allow(6.0)
+        b.record(6.5, ok=False)
+        assert b.state == OPEN
+        assert b.open_count == 2
+        # The open clock restarted at the probe failure.
+        assert not b.allow(10.0)
+        assert b.allow(12.0)
+
+    def test_straggler_while_open_ignored(self):
+        b = make_breaker()
+        trip(b)
+        b.record(1.0, ok=True)           # completion from before the open
+        assert b.state == OPEN
+
+    def test_summary_counts(self):
+        b = make_breaker()
+        trip(b)
+        b.allow(1.0)
+        s = b.summary()
+        assert s["state"] == OPEN
+        assert s["opens"] == 1
+        assert s["rejections"] == 1
+        assert s["transitions"] == 1

@@ -1,0 +1,117 @@
+"""Validation of the control-plane configuration surface."""
+
+import pytest
+
+from repro.control.config import (SHED_POLICIES, BreakerConfig,
+                                  ControlConfig, RetryBudgetConfig,
+                                  SLOTarget, TimeoutConfig,
+                                  overload_defaults)
+
+
+class TestSLOTarget:
+    def test_defaults(self):
+        slo = SLOTarget(threshold=1.0)
+        assert slo.objective == 0.99
+        assert slo.error_budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(threshold=0.0),
+        dict(threshold=-1.0),
+        dict(threshold=1.0, objective=0.0),
+        dict(threshold=1.0, objective=1.0),
+        dict(threshold=1.0, fast_window=0.0),
+        dict(threshold=1.0, fast_window=60.0, slow_window=30.0),
+        dict(threshold=1.0, fast_burn=0.0),
+        dict(threshold=1.0, slow_burn=-2.0),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOTarget(**kwargs)
+
+
+class TestBreakerConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(window=0.0),
+        dict(min_samples=0),
+        dict(failure_threshold=0.0),
+        dict(failure_threshold=1.5),
+        dict(latency_threshold=0.0),
+        dict(open_duration=0.0),
+        dict(half_open_probes=0),
+        dict(close_after=0),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)
+
+
+class TestRetryBudgetConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RetryBudgetConfig(capacity=0.0)
+        with pytest.raises(ValueError):
+            RetryBudgetConfig(earn_per_invocation=-0.1)
+
+
+class TestTimeoutHierarchy:
+    def test_attempt_must_not_exceed_invocation(self):
+        with pytest.raises(ValueError, match="hierarchy"):
+            TimeoutConfig(per_attempt=5.0, per_invocation=2.0)
+        # Equal is allowed (one attempt gets the whole deadline).
+        TimeoutConfig(per_attempt=2.0, per_invocation=2.0)
+
+    def test_either_side_optional(self):
+        TimeoutConfig(per_attempt=1.0)
+        TimeoutConfig(per_invocation=1.0)
+        TimeoutConfig()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TimeoutConfig(per_attempt=0.0)
+        with pytest.raises(ValueError):
+            TimeoutConfig(per_invocation=-1.0)
+
+    def test_slo_sits_above_invocation_timeout(self):
+        timeouts = TimeoutConfig(per_attempt=1.0, per_invocation=4.0)
+        with pytest.raises(ValueError, match="hierarchy"):
+            ControlConfig(timeouts=timeouts,
+                          slos={"DH": SLOTarget(threshold=2.0)})
+        ControlConfig(timeouts=timeouts,
+                      slos={"DH": SLOTarget(threshold=4.0)})
+
+
+class TestControlConfig:
+    def test_rejects_unknown_shed_policy(self):
+        with pytest.raises(ValueError, match="shed policy"):
+            ControlConfig(shed_policy="coin-flip")
+
+    def test_known_policies_accepted(self):
+        for policy in SHED_POLICIES:
+            ControlConfig(shed_policy=policy)
+
+    def test_rejects_bad_concurrency(self):
+        with pytest.raises(ValueError):
+            ControlConfig(default_concurrency=0)
+        with pytest.raises(ValueError):
+            ControlConfig(concurrency_limits={"DH": 0})
+
+    def test_concurrency_lookup(self):
+        cfg = ControlConfig(default_concurrency=8,
+                            concurrency_limits={"IR": 2})
+        assert cfg.concurrency_for("IR") == 2
+        assert cfg.concurrency_for("DH") == 8
+        assert ControlConfig().concurrency_for("DH") is None
+
+    def test_priority_lookup(self):
+        cfg = ControlConfig(priorities={"IR": 1})
+        assert cfg.priority_for("IR") == 1
+        assert cfg.priority_for("DH") == cfg.default_priority
+
+    def test_overload_defaults_preset(self):
+        cfg = overload_defaults(("DH", "IR"), concurrency=16,
+                                slo_threshold=2.0)
+        assert cfg.default_concurrency == 16
+        assert cfg.queue_capacity == 64
+        assert set(cfg.slos) == {"DH", "IR"}
+        assert cfg.timeouts.per_invocation == 2.0
+        cfg.validate_hierarchy()

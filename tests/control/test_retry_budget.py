@@ -1,0 +1,63 @@
+"""Retry budget: token-bucket arithmetic, no clock involved."""
+
+import pytest
+
+from repro.control.config import RetryBudgetConfig
+from repro.control.retry_budget import RetryBudget
+
+
+def test_starts_full_and_spends():
+    b = RetryBudget(RetryBudgetConfig(capacity=3.0,
+                                      earn_per_invocation=0.5))
+    assert b.try_spend()
+    assert b.try_spend()
+    assert b.try_spend()
+    assert not b.try_spend()             # empty
+    assert b.spent == 3
+    assert b.denied == 1
+
+
+def test_earning_is_capped_at_capacity():
+    b = RetryBudget(RetryBudgetConfig(capacity=2.0,
+                                      earn_per_invocation=1.0))
+    for _ in range(10):
+        b.earn()
+    assert b.tokens == 2.0               # never above capacity
+
+
+def test_earn_fraction_bounds_amplification():
+    # 10% earn rate: once the initial allowance is gone, 100 admitted
+    # invocations bank 10 tokens — but never more than capacity, which
+    # also caps the retry burst a quiet period can store up.
+    b = RetryBudget(RetryBudgetConfig(capacity=5.0,
+                                      earn_per_invocation=0.1))
+    for _ in range(5):
+        assert b.try_spend()
+    assert not b.try_spend()
+    for _ in range(100):
+        b.earn()
+    granted = 0
+    while b.try_spend():
+        granted += 1
+    assert granted == 5                  # min(capacity, 100 * 0.1)
+    assert b.earned == pytest.approx(10.0)
+
+
+def test_partial_token_is_not_spendable():
+    b = RetryBudget(RetryBudgetConfig(capacity=4.0,
+                                      earn_per_invocation=0.3))
+    for _ in range(4):
+        assert b.try_spend()
+    b.earn()                              # 0.3 tokens: not enough
+    assert not b.try_spend()
+    b.earn()
+    b.earn()
+    b.earn()                              # 1.2 tokens
+    assert b.try_spend()
+
+
+def test_summary():
+    b = RetryBudget(RetryBudgetConfig(capacity=2.0))
+    b.try_spend()
+    s = b.summary()
+    assert s == {"tokens_left": 1.0, "spent": 1, "denied": 0}

@@ -1,0 +1,111 @@
+"""SLO burn-rate accounting: windows, the AND rule, degrade signal."""
+
+import pytest
+
+from repro.control.config import ControlConfig, SLOTarget
+from repro.control.slo import SLOTracker, _WindowCounter
+
+
+def make_tracker(**slo_kwargs):
+    defaults = dict(threshold=1.0, objective=0.9, fast_window=30.0,
+                    slow_window=300.0, fast_burn=2.0, slow_burn=1.0)
+    defaults.update(slo_kwargs)
+    cfg = ControlConfig(slos={"DH": SLOTarget(**defaults)},
+                        slo_bucket=5.0, degrade_burn=3.0)
+    return SLOTracker(cfg)
+
+
+class TestWindowCounter:
+    def test_counts_and_fraction(self):
+        w = _WindowCounter(window=30.0, bucket=5.0)
+        w.observe(0.0, ok=True)
+        w.observe(1.0, ok=False)
+        assert w.bad_fraction(1.0) == 0.5
+
+    def test_pruning_forgets_old_buckets(self):
+        w = _WindowCounter(window=10.0, bucket=5.0)
+        w.observe(0.0, ok=False)
+        assert w.bad_fraction(5.0) == 1.0
+        # Bucket [0,5) fully leaves the 10s window only after t=20
+        # (its end must be older than the horizon).
+        assert w.bad_fraction(20.1) == 0.0
+        assert w.good == 0 and w.bad == 0
+
+    def test_bucket_capped_at_window(self):
+        w = _WindowCounter(window=2.0, bucket=5.0)
+        assert w.bucket == 2.0
+
+    def test_empty_window_is_clean(self):
+        w = _WindowCounter(window=10.0, bucket=5.0)
+        assert w.bad_fraction(100.0) == 0.0
+
+
+class TestBurnRates:
+    def test_burn_is_bad_fraction_over_budget(self):
+        t = make_tracker(objective=0.9)        # budget = 0.1
+        t.observe("DH", 0.0, e2e=0.5)          # good
+        t.observe("DH", 1.0, e2e=5.0)          # bad
+        fast, slow = t.burn("DH", 1.0)
+        assert fast == pytest.approx(5.0)      # 0.5 / 0.1
+        assert slow == pytest.approx(5.0)
+
+    def test_unconfigured_function_is_silent(self):
+        t = make_tracker()
+        t.observe("IR", 0.0, e2e=100.0)
+        assert t.burn("IR", 0.0) == (0.0, 0.0)
+        assert not t.shed_active("IR", 0.0)
+
+    def test_two_window_and_rule(self):
+        # fast_burn=2, slow_burn=1, budget=0.1: a short burst of misses
+        # saturates the fast window but the slow window lags.
+        t = make_tracker(objective=0.9, fast_window=30.0,
+                         slow_window=300.0, fast_burn=2.0, slow_burn=1.0)
+        # A long healthy history dilutes the slow window.
+        for i in range(200):
+            t.observe("DH", float(i), e2e=0.1)
+        # Now a burst of misses.
+        for i in range(8):
+            t.observe("DH", 200.0 + i, e2e=10.0)
+        fast, slow = t.burn("DH", 208.0)
+        assert fast >= 2.0                     # fast window: burning hot
+        assert slow < 1.0                      # slow window: still diluted
+        assert not t.shed_active("DH", 208.0)  # AND rule holds it back
+        # Sustained misses push the slow window over too.
+        for i in range(40):
+            t.observe("DH", 209.0 + i, e2e=10.0)
+        assert t.shed_active("DH", 249.0)
+
+    def test_recovery_unlatches_shed(self):
+        t = make_tracker(fast_window=10.0, slow_window=10.0,
+                         fast_burn=1.0, slow_burn=1.0)
+        for i in range(10):
+            t.observe("DH", float(i), e2e=10.0)
+        assert t.shed_active("DH", 9.0)
+        # No new observations: the windows drain and shedding stops.
+        assert not t.shed_active("DH", 60.0)
+
+    def test_degrade_active_uses_fast_window_only(self):
+        t = make_tracker(objective=0.9)        # degrade_burn = 3.0
+        for i in range(4):
+            t.observe("DH", float(i), e2e=10.0)
+        assert t.degrade_active(4.0)           # fast burn = 10 >= 3
+        assert not t.degrade_active(400.0)     # drained
+
+
+class TestReport:
+    def test_lifetime_attainment(self):
+        t = make_tracker(objective=0.9)
+        for i in range(9):
+            t.observe("DH", float(i), e2e=0.1)
+        t.observe("DH", 9.0, e2e=10.0)
+        rep = t.report(10.0)["DH"]
+        assert rep["observed"] == 10
+        assert rep["good"] == 9 and rep["bad"] == 1
+        assert rep["attainment"] == pytest.approx(0.9)
+        assert rep["met"] is True
+
+    def test_empty_report_is_met(self):
+        rep = make_tracker().report(0.0)["DH"]
+        assert rep["observed"] == 0
+        assert rep["attainment"] == 1.0
+        assert rep["met"] is True

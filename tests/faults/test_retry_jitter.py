@@ -1,0 +1,112 @@
+"""Seeded backoff jitter: de-synchronised retries, bit-identical runs.
+
+The jitter draw must flow through the caller's SeededRNG substream —
+never module-level RNG state — so two identical chaos runs produce
+identical retry timelines.
+"""
+
+import pytest
+
+from repro.core.platform import TrEnvPlatform
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.mem.layout import GB
+from repro.mem.pools import NASPool, RDMAPool
+from repro.node import Node
+from repro.serverless.cluster import make_trenv_cluster
+from repro.sim.rng import SeededRNG
+from repro.workloads.functions import function_by_name
+from repro.workloads.synthetic import make_w1_bursty
+
+
+class TestBackoffJitter:
+    def test_zero_jitter_makes_no_draw(self):
+        policy = RetryPolicy(jitter=0.0)
+        rng = SeededRNG(7, "retry")
+        twin = SeededRNG(7, "retry")
+        waits = [policy.backoff(a, rng) for a in range(3)]
+        # The stream was never consulted: the twin is still in lockstep.
+        assert rng.uniform(0.0, 1.0) == twin.uniform(0.0, 1.0)
+        assert waits == [policy.backoff(a) for a in range(3)]
+
+    def test_jitter_without_rng_raises(self):
+        with pytest.raises(ValueError, match="seeded RNG"):
+            RetryPolicy(jitter=0.5).backoff(0)
+
+    def test_jitter_bounds_and_cap(self):
+        policy = RetryPolicy(jitter=0.5, backoff_base=1e-3,
+                             backoff_multiplier=4.0, backoff_cap=0.1)
+        rng = SeededRNG(7, "retry")
+        for attempt in range(6):
+            base = min(0.1, 1e-3 * 4.0 ** attempt)
+            wait = policy.backoff(attempt, rng)
+            assert base <= wait + 1e-12
+            assert wait <= min(0.1, base * 1.5) + 1e-12
+
+    def test_identical_substreams_give_identical_waits(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(i, SeededRNG(3, "node0/retry"))
+             for i in range(4)]
+        b = [policy.backoff(i, SeededRNG(3, "node0/retry"))
+             for i in range(4)]
+        assert a == b
+
+    def test_forked_substreams_diverge(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = RetryPolicy(jitter=0.5).backoff(2, SeededRNG(3, "node0/retry"))
+        b = policy.backoff(2, SeededRNG(3, "node1/retry"))
+        assert a != b
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+def invoke_with_timeouts(seed):
+    """One invocation that retries through two injected pool timeouts."""
+    node = Node(seed=seed)
+    pool = RDMAPool(64 * GB, node.latency)
+    platform = TrEnvPlatform(node, pool)
+    platform.retry_policy = RetryPolicy(jitter=0.5, max_retries=3)
+    platform.register_function(function_by_name("DH"))
+    pool.inject_timeouts(2)
+    r = node.sim.run_process(platform.invoke("DH"))
+    return r.retries, r.e2e
+
+
+class TestChaosRunDeterminism:
+    def test_single_invocation_timeline_identical(self):
+        first = invoke_with_timeouts(seed=31)
+        second = invoke_with_timeouts(seed=31)
+        assert first[0] == 2               # the retries really happened
+        assert first == second             # jitter included, bit-identical
+
+    def test_cluster_chaos_run_identical_retry_timeline(self):
+        def run():
+            pool = RDMAPool(64 * GB)
+            cluster = make_trenv_cluster(2, pool, seed=5,
+                                         fallback_pool=NASPool(64 * GB))
+            for platform in cluster.platforms:
+                platform.retry_policy = RetryPolicy(jitter=0.5,
+                                                    max_retries=2)
+            # Transient fetch timeouts (not a hard outage): these raise
+            # PoolFaults that the platforms retry with jittered backoff.
+            plan = FaultPlan().fetch_timeouts(0.0, "rdma", 20)
+            FaultInjector.for_cluster(cluster, plan).arm()
+            workload = make_w1_bursty(seed=5, duration=700.0,
+                                      burst_size=4,
+                                      bursts_per_function=1)
+            result = cluster.run_workload(workload)
+            timeline = sorted((r.function, r.arrival, r.retries, r.e2e)
+                              for r in result.recorder.results)
+            faults = sum(p.pool_fault_count for p in cluster.platforms)
+            return timeline, faults
+
+        timeline_a, faults_a = run()
+        timeline_b, faults_b = run()
+        assert faults_a > 0                # the outage was felt
+        assert any(retries > 0 for _f, _a, retries, _e in timeline_a)
+        assert faults_a == faults_b
+        assert timeline_a == timeline_b    # jittered waits replay exactly
