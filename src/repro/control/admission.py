@@ -122,7 +122,9 @@ class AdmissionController:
         if policy == "drop-newest":
             return newcomer
         if policy == "drop-oldest":
-            return queue[0]
+            # queue_capacity=0 means no queue at all: the newcomer is
+            # the only candidate there is.
+            return queue[0] if queue else newcomer
         candidates = queue + [newcomer]
         if policy == "deadline":
             # Least slack first; deadline-less entries are never wasted

@@ -57,6 +57,20 @@ class CircuitBreaker:
 
     # -- queries --------------------------------------------------------------
 
+    def would_allow(self, now: float) -> bool:
+        """Non-claiming preview: would :meth:`allow` grant at ``now``?
+
+        Used to filter candidate sets without claiming half-open probe
+        slots (or counting rejections) for resources that end up not
+        being picked.  Never mutates state.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            # Past the cool-off, allow() would half-open and grant.
+            return now - self._opened_at >= self.config.open_duration
+        return self._probes_in_flight < self.config.half_open_probes
+
     def allow(self, now: float) -> bool:
         """May an operation proceed at virtual time ``now``?
 
@@ -80,6 +94,17 @@ class CircuitBreaker:
         return False
 
     # -- observations ---------------------------------------------------------
+
+    def release_probe(self) -> None:
+        """Give back a claimed grant without recording an outcome.
+
+        For attempts abandoned for reasons that do not implicate this
+        resource (e.g. the invocation's own total-time deadline
+        expired): in the half-open state the probe slot returns to the
+        pool so the breaker cannot wedge with all slots leaked.
+        """
+        if self.state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
 
     def record(self, now: float, ok: bool, latency: float = 0.0) -> None:
         """Report one operation outcome observed at ``now``."""

@@ -14,7 +14,8 @@ them:
   which feeds both admission (burn shedding) and the platforms
   (degrade mode).
 
-The cluster dispatcher calls :meth:`filter_candidates` /
+The cluster dispatcher calls :meth:`filter_candidates` (non-claiming
+preview), :meth:`claim_attempt` (for the picked node only) and
 :meth:`observe_attempt` around every dispatch attempt and
 :meth:`observe_result` on completion; platforms consult
 :meth:`pool_breaker` and :meth:`degrade_active` inside their fault
@@ -79,18 +80,31 @@ class ControlPlane:
     def filter_candidates(self, platforms: Sequence, now: float) -> List:
         """Drop candidates whose dispatch breaker refuses traffic.
 
-        Order is preserved (policies depend on it).  A True ``allow``
-        in the half-open state claims a probe slot, so the caller must
-        report the attempt outcome via :meth:`observe_attempt`.
+        Order is preserved (policies depend on it).  This is a
+        non-claiming preview (:meth:`CircuitBreaker.would_allow`): no
+        probe slots are taken, so unpicked candidates leak nothing.
+        After the policy picks one candidate, the caller must claim the
+        actual grant via :meth:`claim_attempt` and then report the
+        outcome via :meth:`observe_attempt`.
         """
         if self.config.node_breaker is None:
             return list(platforms)
         allowed = []
         for platform in platforms:
             breaker = self.node_breaker(platform.node.name)
-            if breaker.allow(now):
+            if breaker.would_allow(now):
                 allowed.append(platform)
         return allowed
+
+    def claim_attempt(self, node: str, now: float) -> bool:
+        """Claim the dispatch grant for the *picked* node.
+
+        In the half-open state this takes one probe slot, which the
+        caller must settle via :meth:`observe_attempt`.  Returns False
+        if the breaker refuses (state moved since the preview).
+        """
+        breaker = self.node_breaker(node)
+        return True if breaker is None else breaker.allow(now)
 
     def observe_attempt(self, node: str, now: float, ok: bool,
                         latency: float) -> None:
@@ -98,6 +112,17 @@ class ControlPlane:
         breaker = self.node_breaker(node)
         if breaker is not None:
             breaker.record(now, ok, latency)
+
+    def settle_attempt(self, node: str) -> None:
+        """Settle a claimed grant without recording an outcome.
+
+        For attempts abandoned for node-agnostic reasons (the
+        invocation's own deadline): returns any half-open probe slot
+        taken by :meth:`claim_attempt` so it cannot leak.
+        """
+        breaker = self.node_breaker(node)
+        if breaker is not None:
+            breaker.release_probe()
 
     # -- SLO + completion accounting ------------------------------------------
 

@@ -80,25 +80,28 @@ class SLOTracker:
 
     def __init__(self, config: ControlConfig):
         self.config = config
+        #: Materialized once: rebuilding dict(config.slos) per
+        #: observation would be O(n_slos) on the per-invocation path.
+        self._slos: Dict[str, SLOTarget] = dict(config.slos)
         #: function -> (fast window, slow window) counters.
         self._windows: Dict[str, Tuple[_WindowCounter, _WindowCounter]] = {}
         #: lifetime totals per function (good, bad).
         self._totals: Dict[str, List[int]] = {}
-        for fn, slo in sorted(dict(config.slos).items()):
+        for fn, slo in sorted(self._slos.items()):
             self._windows[fn] = (
                 _WindowCounter(slo.fast_window, config.slo_bucket),
                 _WindowCounter(slo.slow_window, config.slo_bucket))
             self._totals[fn] = [0, 0]
 
     def target(self, function: str) -> SLOTarget:
-        return dict(self.config.slos)[function]
+        return self._slos[function]
 
     def observe(self, function: str, now: float, e2e: float) -> None:
         """Feed one completed invocation's end-to-end latency."""
         windows = self._windows.get(function)
         if windows is None:
             return
-        slo = dict(self.config.slos)[function]
+        slo = self._slos[function]
         ok = e2e <= slo.threshold
         windows[0].observe(now, ok)
         windows[1].observe(now, ok)
@@ -114,7 +117,7 @@ class SLOTracker:
         windows = self._windows.get(function)
         if windows is None:
             return 0.0, 0.0
-        budget = dict(self.config.slos)[function].error_budget
+        budget = self._slos[function].error_budget
         return (windows[0].bad_fraction(now) / budget,
                 windows[1].bad_fraction(now) / budget)
 
@@ -123,7 +126,7 @@ class SLOTracker:
         windows = self._windows.get(function)
         if windows is None:
             return False
-        slo = dict(self.config.slos)[function]
+        slo = self._slos[function]
         fast, slow = self.burn(function, now)
         return fast >= slo.fast_burn and slow >= slo.slow_burn
 
@@ -144,7 +147,7 @@ class SLOTracker:
         """Final per-function attainment + burn snapshot (sorted keys)."""
         out: Dict[str, dict] = {}
         for fn in sorted(self._windows):
-            slo = dict(self.config.slos)[fn]
+            slo = self._slos[fn]
             good, bad = self._totals[fn]
             total = good + bad
             fast, slow = self.burn(fn, now)

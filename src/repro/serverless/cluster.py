@@ -454,8 +454,21 @@ class Cluster:
                             excluded.clear()
                             yield Delay(self.redispatch_wait)
                             continue
-                        platform = self.policy.pick(allowed,
+                        # The preview above claims nothing; claim the
+                        # grant (half-open probe slot) only for the
+                        # node the policy actually picks.
+                        platform = None
+                        while allowed:
+                            pick = self.policy.pick(allowed,
                                                     event.function)
+                            if plane.claim_attempt(pick.node.name, now):
+                                platform = pick
+                                break
+                            allowed.remove(pick)
+                        if platform is None:
+                            excluded.clear()
+                            yield Delay(self.redispatch_wait)
+                            continue
                         key = platform.node.name
                         self.dispatch_counts[key] = (
                             self.dispatch_counts.get(key, 0) + 1)
@@ -505,8 +518,14 @@ class Cluster:
                                 abort_reason = "retry-budget"
                                 break
                         except DeadlineExceededError:
-                            plane.observe_attempt(key, sim.now, False,
-                                                  sim.now - now)
+                            # The *invocation* ran out of total time —
+                            # that does not implicate this node, so do
+                            # not feed its breaker a failure (it would
+                            # open breakers on healthy nodes under
+                            # broad overload).  Settle the half-open
+                            # probe slot claimed for this attempt, if
+                            # any, without recording an outcome.
+                            plane.settle_attempt(key)
                             abort_reason = "deadline"
                             break
                         finally:

@@ -90,6 +90,24 @@ class TestShedPolicies:
         assert queued[0].gate.value == "shed:evicted"
         assert not queued[1].gate.triggered
 
+    def test_drop_oldest_with_no_queue_sheds_newcomer(self):
+        # Regression: queue_capacity=0 is legal (no queue at all); the
+        # newcomer is then the only eviction candidate, not queue[0] of
+        # an empty list (which raised IndexError).
+        adm = make_admission(shed_policy="drop-oldest", queue_capacity=0)
+        adm.request("DH", 0.0, 0.0, None)  # takes the one slot
+        status, reason = adm.request("DH", 1.0, 1.0, None)
+        assert (status, reason) == ("shed", "queue-full")
+        assert adm.queue_depth("DH") == 0
+
+    @pytest.mark.parametrize("policy", ["drop-newest", "deadline",
+                                        "priority"])
+    def test_zero_capacity_sheds_over_limit_for_every_policy(self, policy):
+        adm = make_admission(shed_policy=policy, queue_capacity=0)
+        adm.request("DH", 0.0, 0.0, None)
+        status, reason = adm.request("DH", 1.0, 1.0, 5.0)
+        assert (status, reason) == ("shed", "queue-full")
+
     def test_deadline_evicts_least_slack(self):
         adm = make_admission(shed_policy="deadline")
         queued = self.fill(adm, deadlines=(10.0, 20.0))

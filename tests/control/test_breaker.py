@@ -110,6 +110,42 @@ class TestOpenAndHalfOpen:
         b.record(1.0, ok=True)           # completion from before the open
         assert b.state == OPEN
 
+    def test_would_allow_never_claims_probe_slots(self):
+        # Regression: previewing many candidates must not consume the
+        # half-open probe budget, or unpicked candidates wedge the
+        # breaker in half-open forever.
+        b = make_breaker(open_duration=5.0, half_open_probes=2)
+        trip(b)
+        assert not b.would_allow(1.0)     # still cooling off
+        assert b.state == OPEN            # preview didn't transition
+        for _ in range(10):
+            assert b.would_allow(6.0)     # repeated previews are free
+        assert b.state == OPEN
+        assert b.rejections == 0          # and don't count rejections
+        assert b.allow(6.0)               # the real claim still works
+        assert b.state == HALF_OPEN
+        assert b.allow(6.1)
+        assert not b.would_allow(6.2)     # both slots genuinely taken
+        assert not b.allow(6.2)
+
+    def test_release_probe_returns_unsettled_slot(self):
+        b = make_breaker(open_duration=5.0, half_open_probes=1)
+        trip(b)
+        assert b.allow(6.0)               # the single probe slot
+        assert not b.would_allow(6.1)
+        b.release_probe()                 # abandoned without an outcome
+        assert b.state == HALF_OPEN
+        assert b.allow(6.2)               # slot is usable again
+        b.record(6.5, ok=True)
+
+    def test_release_probe_noop_outside_half_open(self):
+        b = make_breaker()
+        b.release_probe()
+        assert b.state == CLOSED
+        trip(b)
+        b.release_probe()
+        assert b.state == OPEN
+
     def test_summary_counts(self):
         b = make_breaker()
         trip(b)

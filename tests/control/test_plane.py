@@ -1,0 +1,78 @@
+"""ControlPlane glue: preview/claim/settle around dispatch attempts."""
+
+from types import SimpleNamespace
+
+from repro.control.breaker import HALF_OPEN, OPEN
+from repro.control.config import BreakerConfig, ControlConfig
+from repro.control.plane import ControlPlane
+from repro.sim.engine import Simulator
+
+
+def fake_platform(name):
+    return SimpleNamespace(node=SimpleNamespace(name=name))
+
+
+def make_plane(**cfg_kwargs):
+    defaults = dict(node_breaker=BreakerConfig(
+        window=10.0, min_samples=2, failure_threshold=0.5,
+        open_duration=5.0, half_open_probes=2, close_after=1))
+    defaults.update(cfg_kwargs)
+    return ControlPlane(Simulator(), ControlConfig(**defaults))
+
+
+def trip_node(plane, node, at=0.0):
+    plane.observe_attempt(node, at, False, 0.0)
+    plane.observe_attempt(node, at + 0.1, False, 0.0)
+    assert plane.node_breaker(node).state == OPEN
+
+
+class TestPreviewClaimSettle:
+    def test_filter_is_non_claiming(self):
+        # Regression: previewing a half-open node across many dispatch
+        # rounds must not consume its probe slots — before the fix,
+        # half_open_probes unpicked previews wedged the breaker in
+        # half-open with allow() False forever.
+        plane = make_plane()
+        platforms = [fake_platform("node0"), fake_platform("node1")]
+        trip_node(plane, "node0")
+        # Past cool-off: node0 is previewable again, repeatedly.
+        for _ in range(10):
+            allowed = plane.filter_candidates(platforms, 6.0)
+            assert [p.node.name for p in allowed] == ["node0", "node1"]
+        # All probe slots must still be available for the real pick.
+        assert plane.claim_attempt("node0", 6.0)
+        assert plane.claim_attempt("node0", 6.1)
+        breaker = plane.node_breaker("node0")
+        assert breaker.state == HALF_OPEN
+        assert not plane.claim_attempt("node0", 6.2)
+
+    def test_claimed_probe_outcome_drives_state(self):
+        plane = make_plane()
+        trip_node(plane, "node0")
+        assert plane.claim_attempt("node0", 6.0)
+        plane.observe_attempt("node0", 6.5, True, 0.5)
+        assert plane.node_breaker("node0").state == "closed"
+
+    def test_settle_attempt_returns_probe_without_outcome(self):
+        # Regression companion: an invocation-deadline abort settles the
+        # claimed probe without feeding the breaker a failure, so a
+        # healthy node is neither wedged nor re-opened.
+        plane = make_plane(node_breaker=BreakerConfig(
+            window=10.0, min_samples=2, failure_threshold=0.5,
+            open_duration=5.0, half_open_probes=1, close_after=1))
+        trip_node(plane, "node0")
+        assert plane.claim_attempt("node0", 6.0)
+        assert not plane.claim_attempt("node0", 6.1)  # single slot taken
+        plane.settle_attempt("node0")                 # deadline abort
+        breaker = plane.node_breaker("node0")
+        assert breaker.state == HALF_OPEN             # not re-opened
+        assert plane.claim_attempt("node0", 6.2)      # slot reusable
+        plane.observe_attempt("node0", 6.5, True, 0.3)
+        assert breaker.state == "closed"
+
+    def test_filter_claim_settle_noop_when_breakers_off(self):
+        plane = make_plane(node_breaker=None)
+        platforms = [fake_platform("node0")]
+        assert plane.filter_candidates(platforms, 0.0) == platforms
+        assert plane.claim_attempt("node0", 0.0)
+        plane.settle_attempt("node0")                 # must not raise
