@@ -8,7 +8,16 @@ Two cooperating layers keep the reproduction's numbers trustworthy:
   unseeded RNGs outside the bench harness, iteration over unordered
   ``set`` views in scheduling/eviction/dispatch paths, direct mutation
   of frame/charge state behind the accounting APIs, and optimization
-  flags whose fast/slow path pair no test exercises.
+  flags whose fast/slow path pair no test exercises.  ``lint --deep``
+  goes whole-program: :mod:`repro.analysis.callgraph` builds a project
+  call graph, :mod:`repro.analysis.effects` infers
+  purity/reads-shared/writes-shared effects,
+  :mod:`repro.analysis.dataflow` propagates nondeterminism taint, and
+  :mod:`repro.analysis.shardcheck` certifies shard safety with rules
+  SIM006–SIM010 (shared-state writes, non-associative merges,
+  order-sensitive float folds, unguarded hook calls, taint reaching a
+  sim sink).  :mod:`repro.analysis.sarif` renders findings as JSON or
+  SARIF 2.1.0 for CI upload.
 
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime invariant checker
   (the kmemleak/KASAN analog) that hooks pool allocation, PTE

@@ -13,6 +13,11 @@ Recognised keys (all optional)::
     disable = ["SIM003"]                # rule ids to turn off entirely
     tests_path = "tests"                # where SIM005 looks for coverage
 
+    # Interprocedural deep mode (`lint --deep`, rules SIM006-SIM010):
+    deep_baseline = "simlint-deep-baseline.txt"  # deep-rule allowlist
+    deep_paths = ["src/repro"]          # whole-program analysis scope
+    deep_roots = ["repro.sim.engine.Simulator.run"]  # sim entry points
+
     [tool.simlint.per_rule.SIM001]
     exclude = ["src/repro/bench/*"]     # per-rule path excludes
 """
@@ -29,6 +34,16 @@ try:  # Python >= 3.11
 except ImportError:  # pragma: no cover - 3.9/3.10 fallback
     tomllib = None  # type: ignore[assignment]
 
+#: Default simulation entry points for deep-mode reachability: the
+#: engine's event loop plus the serverless runners/cluster whose spawned
+#: generators do the per-invocation work.  A prefix matches a whole
+#: module or class.
+DEFAULT_DEEP_ROOTS: Tuple[str, ...] = (
+    "repro.sim.engine.Simulator.run",
+    "repro.serverless.runner",
+    "repro.serverless.cluster",
+)
+
 
 @dataclass
 class SimlintConfig:
@@ -41,10 +56,21 @@ class SimlintConfig:
     disable: Tuple[str, ...] = ()
     tests_path: str = "tests"
     per_rule_exclude: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Deep (interprocedural) mode: its own allowlist file, the paths
+    #: forming the whole-program scope, and the simulation entry points
+    #: reachability is anchored at (function qualnames or module/class
+    #: qualname prefixes).
+    deep_baseline: str = "simlint-deep-baseline.txt"
+    deep_paths: Tuple[str, ...] = ("src/repro",)
+    deep_roots: Tuple[str, ...] = DEFAULT_DEEP_ROOTS
 
     @property
     def baseline_path(self) -> Path:
         return self.root / self.baseline
+
+    @property
+    def deep_baseline_path(self) -> Path:
+        return self.root / self.deep_baseline
 
     def rule_enabled(self, rule_id: str) -> bool:
         return rule_id not in self.disable
@@ -81,6 +107,12 @@ def _from_table(root: Path, table: Mapping[str, Any]) -> SimlintConfig:
         config.disable = _str_tuple(table["disable"], "disable")
     if "tests_path" in table:
         config.tests_path = str(table["tests_path"])
+    if "deep_baseline" in table:
+        config.deep_baseline = str(table["deep_baseline"])
+    if "deep_paths" in table:
+        config.deep_paths = _str_tuple(table["deep_paths"], "deep_paths")
+    if "deep_roots" in table:
+        config.deep_roots = _str_tuple(table["deep_roots"], "deep_roots")
     per_rule = table.get("per_rule", {})
     if not isinstance(per_rule, Mapping):
         raise ValueError("[tool.simlint.per_rule] must be a table")

@@ -1,0 +1,184 @@
+"""Interprocedural taint analysis: nondeterminism sources -> sim sinks.
+
+A *source* is a call that injects host nondeterminism into whatever
+computes around it:
+
+* wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``datetime.now``, ... — the SIM001 set);
+* hidden-global-state RNG (``random.random``, ``numpy.random.rand``,
+  ... — the SIM002 set);
+* process environment reads (``os.environ[...]``, ``os.environ.get``,
+  ``os.getenv``).
+
+The per-file rules already ban these inside ``src/repro`` — but only
+file by file, which is how the PR 6 ``RetryPolicy`` jitter bug shipped:
+the module-level RNG draw sat in a helper whose *callers* were
+simulation code.  This pass closes the gap: a function containing a
+source is **tainted**, taint propagates to every (transitive) caller
+over the project call graph, and rule SIM010 fires when a tainted
+function is reachable from a simulation root (``Simulator.run`` and
+the serverless runners/cluster by default) — i.e. the nondeterminism
+can flow into simulated time, metrics, or a dispatch decision.
+
+Sink granularity is deliberately coarse (reachable-from-sim ==
+feeds-a-sim-sink): every value computed by code the simulator executes
+either influences virtual time, a recorded metric, or a scheduling
+decision, or is dead.  Over-approximation is the correct failure mode
+for a certifier.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.rules import (ParsedModule, UnseededRandomRule,
+                                  WallClockRule, _canonical_call,
+                                  _import_aliases)
+
+#: Environment-read call targets (canonical dotted names).
+_ENVIRON_CALLS = frozenset({
+    "os.getenv", "os.environ.get", "os.environ.setdefault",
+    "os.environb.get", "os.environ.items", "os.environ.keys",
+    "os.environ.values",
+})
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One nondeterminism source site inside a function."""
+
+    function: str               # containing function qualname
+    relpath: str
+    line: int
+    col: int
+    kind: str                   # "wall-clock" | "global-rng" | "environ"
+    detail: str                 # the offending canonical call
+
+
+@dataclass(frozen=True)
+class TaintedPath:
+    """A source together with a call chain reaching it from a sim root."""
+
+    source: TaintSource
+    chain: Tuple[str, ...]      # root -> ... -> source.function
+
+    def render_chain(self) -> str:
+        return " -> ".join(self.chain)
+
+
+def _environ_subscript(node: ast.AST, aliases: Dict[str, str]) -> bool:
+    """``os.environ[...]`` reads (beyond the call forms)."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    parts: List[str] = []
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        parts.append(value.attr)
+        value = value.value
+    if not isinstance(value, ast.Name):
+        return False
+    parts.append(value.id)
+    parts.reverse()
+    head = aliases.get(parts[0], parts[0])
+    return ".".join([head] + parts[1:]) in ("os.environ", "os.environb")
+
+
+def scan_sources(modules: Dict[str, ParsedModule],
+                 graph: CallGraph) -> List[TaintSource]:
+    """Every nondeterminism source, attributed to its owning function."""
+    wall = WallClockRule.BANNED
+    rng_allowed = UnseededRandomRule.ALLOWED
+    sources: List[TaintSource] = []
+    for qualname in sorted(graph.functions):
+        info = graph.functions[qualname]
+        module = modules.get(info.relpath)
+        if module is None:
+            continue
+        aliases = _import_aliases(module.tree)
+        node: ast.AST
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Subscript) and \
+                    _environ_subscript(node, aliases):
+                sources.append(TaintSource(
+                    function=qualname, relpath=info.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    kind="environ", detail="os.environ[...]"))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _canonical_call(node, aliases)
+            if canonical is None:
+                continue
+            if canonical in wall:
+                kind = "wall-clock"
+            elif canonical in _ENVIRON_CALLS:
+                kind = "environ"
+            elif canonical in rng_allowed:
+                continue
+            elif (canonical.startswith("random.")
+                  and canonical.count(".") == 1) or \
+                    canonical.startswith("numpy.random."):
+                kind = "global-rng"
+            else:
+                continue
+            sources.append(TaintSource(
+                function=qualname, relpath=info.relpath,
+                line=node.lineno, col=node.col_offset, kind=kind,
+                detail=canonical))
+    return sources
+
+
+class TaintAnalysis:
+    """Propagated taint state over one call graph."""
+
+    def __init__(self, modules: Dict[str, ParsedModule],
+                 graph: CallGraph,
+                 roots: Sequence[str]) -> None:
+        self.graph = graph
+        self.roots = tuple(roots)
+        self.sources = scan_sources(modules, graph)
+        self._reachable = graph.reachable(roots)
+        #: function qualname -> sources it contains.
+        self._by_function: Dict[str, List[TaintSource]] = {}
+        for source in self.sources:
+            self._by_function.setdefault(source.function, []).append(source)
+        self.tainted = self._propagate()
+
+    def _propagate(self) -> Set[str]:
+        """Functions tainted directly or through any callee."""
+        tainted: Set[str] = set(self._by_function)
+        callers: Dict[str, List[str]] = {}
+        for caller in self.graph.edges:
+            for site in self.graph.edges[caller]:
+                callers.setdefault(site.callee, []).append(caller)
+        frontier = sorted(tainted)
+        while frontier:
+            nxt: List[str] = []
+            for callee in frontier:
+                for caller in callers.get(callee, []):
+                    if caller not in tainted:
+                        tainted.add(caller)
+                        nxt.append(caller)
+            frontier = sorted(nxt)
+        return tainted
+
+    def sim_reachable(self, qualname: str) -> bool:
+        return qualname in self._reachable
+
+    def flows(self) -> Iterator[TaintedPath]:
+        """Source sites whose function simulation code can reach."""
+        for source in self.sources:
+            if source.function not in self._reachable:
+                continue
+            chain = self.graph.call_chain(self.roots, source.function)
+            if chain is None:
+                chain = [source.function]
+            yield TaintedPath(source=source, chain=tuple(chain))
+
+
+def analyze_taint(modules: Dict[str, ParsedModule], graph: CallGraph,
+                  roots: Sequence[str]) -> TaintAnalysis:
+    return TaintAnalysis(modules, graph, roots)

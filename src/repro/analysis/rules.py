@@ -4,7 +4,10 @@ Each rule owns an id (``SIM0xx``), a one-line title, and a rationale;
 ``docs/analysis.md`` documents all of them with examples.  File-scoped
 rules see one parsed module at a time; project-scoped rules see every
 parsed module plus the repository root (for cross-file checks such as
-optflags test coverage).
+optflags test coverage); deep-scoped rules (SIM006–SIM010, defined in
+:mod:`repro.analysis.shardcheck`) see a whole-program
+:class:`~repro.analysis.shardcheck.DeepContext` — call graph, effect
+inference, taint — and run only under ``lint --deep``.
 
 The rules encode this reproduction's determinism contract:
 
@@ -24,7 +27,11 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Type)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.shardcheck import DeepContext
 
 
 @dataclass(frozen=True)
@@ -63,13 +70,16 @@ class Rule:
     rule_id: str = ""
     title: str = ""
     rationale: str = ""
-    scope: str = "file"           # "file" | "project"
+    scope: str = "file"           # "file" | "project" | "deep"
 
     def check_file(self, module: ParsedModule) -> Iterator[Violation]:
         return iter(())
 
     def check_project(self, root: Path, modules: Dict[str, ParsedModule],
                       tests_path: str) -> Iterator[Violation]:
+        return iter(())
+
+    def check_deep(self, context: "DeepContext") -> Iterator[Violation]:
         return iter(())
 
     def _violation(self, module: ParsedModule, node: ast.AST,
@@ -94,6 +104,10 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 
 
 def all_rules() -> List[Rule]:
+    # The deep (interprocedural) rules live in repro.analysis.shardcheck
+    # and register themselves on import; imported lazily here to keep
+    # rules.py free of a circular dependency on the deep machinery.
+    from repro.analysis import shardcheck  # noqa: F401
     return [REGISTRY[rule_id]() for rule_id in sorted(REGISTRY)]
 
 

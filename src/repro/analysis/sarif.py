@@ -1,0 +1,104 @@
+"""Structured output for simlint: plain JSON and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+hosts ingest for inline annotation; the CI ``lint-deep`` job uploads
+the file as a build artifact.  The plain JSON form is a flat findings
+list for ad-hoc tooling (jq, dashboards).
+
+Both emitters are deterministic: rules and results are ordered the
+same way the text reporter orders them, and no timestamps or
+absolute paths are embedded, so two runs over the same tree produce
+byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.rules import Rule, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "simlint"
+
+
+def violations_to_json(violations: Sequence[Violation]) -> str:
+    """Flat findings list: one object per violation."""
+    findings: List[Dict[str, Any]] = [
+        {
+            "rule": v.rule_id,
+            "path": v.relpath,
+            "line": v.line,
+            "col": v.col,
+            "message": v.message,
+            "snippet": v.snippet,
+        }
+        for v in violations
+    ]
+    return json.dumps({"tool": TOOL_NAME, "findings": findings},
+                      indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rules(rules: Sequence[Rule]) -> List[Dict[str, Any]]:
+    descriptors: List[Dict[str, Any]] = []
+    for rule in sorted(rules, key=lambda r: r.rule_id):
+        descriptors.append({
+            "id": rule.rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+            "properties": {"scope": rule.scope},
+        })
+    return descriptors
+
+
+def violations_to_sarif(violations: Sequence[Violation],
+                        rules: Sequence[Rule]) -> str:
+    """SARIF 2.1.0 log with one run and per-rule metadata."""
+    rule_index = {rule.rule_id: i
+                  for i, rule in
+                  enumerate(sorted(rules, key=lambda r: r.rule_id))}
+    results: List[Dict[str, Any]] = []
+    for v in violations:
+        result: Dict[str, Any] = {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": v.relpath.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": v.line,
+                        "startColumn": v.col + 1,
+                        "snippet": {"text": v.snippet},
+                    },
+                },
+            }],
+        }
+        if v.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[v.rule_id]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri":
+                        "https://example.invalid/repro/docs/analysis.md",
+                    "rules": _sarif_rules(rules),
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

@@ -4,8 +4,17 @@ Entry points::
 
     python -m repro.cli lint                      # lint configured paths
     python -m repro.cli lint src/repro tests/foo  # explicit targets
+    python -m repro.cli lint --deep               # + whole-program rules
+    python -m repro.cli lint --deep --format sarif --out simlint.sarif
     python -m repro.cli lint --write-baseline     # acknowledge current hits
     python -m repro.cli lint --list-rules         # rule catalogue
+
+``--deep`` additionally parses the whole program (``deep_paths`` from
+``[tool.simlint]``), builds the project call graph, runs the
+purity/effect and taint analyses, and evaluates the interprocedural
+rules SIM006–SIM010 (see :mod:`repro.analysis.shardcheck`).  Deep
+findings are acknowledged in a *separate* baseline file
+(``deep_baseline``) so the per-file allowlist stays reviewable.
 
 Exit status: 0 when every violation is baselined (or none exist),
 1 when new violations are found, 2 on usage/config errors.
@@ -20,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO
 
+from repro.analysis import sarif
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import SimlintConfig, load_config
 from repro.analysis.rules import ParsedModule, Rule, Violation, all_rules
@@ -90,8 +100,17 @@ def _parse_modules(files: Iterable[Path], root: Path, config: SimlintConfig,
 def run_lint(root: Path, targets: Optional[Sequence[str]] = None,
              config: Optional[SimlintConfig] = None,
              baseline: Optional[Baseline] = None,
-             rules: Optional[Sequence[Rule]] = None) -> LintReport:
-    """Lint ``targets`` under ``root``; returns the full report."""
+             rules: Optional[Sequence[Rule]] = None,
+             deep: bool = False,
+             deep_baseline: Optional[Baseline] = None) -> LintReport:
+    """Lint ``targets`` under ``root``; returns the full report.
+
+    With ``deep=True`` the whole program (``config.deep_paths``) is
+    parsed in addition to ``targets`` and the interprocedural rules
+    run over one shared :class:`~repro.analysis.shardcheck.DeepContext`.
+    Deep findings are suppressed by ``deep_baseline`` (not the
+    per-file baseline).
+    """
     root = Path(root).resolve()
     config = config if config is not None else load_config(root)
     if baseline is None:
@@ -103,6 +122,8 @@ def run_lint(root: Path, targets: Optional[Sequence[str]] = None,
               if config.rule_enabled(rule.rule_id)]
     raw: List[Violation] = []
     for rule in active:
+        if rule.scope == "deep":
+            continue
         if rule.scope == "project":
             raw.extend(rule.check_project(root, modules, config.tests_path))
             continue
@@ -110,13 +131,54 @@ def run_lint(root: Path, targets: Optional[Sequence[str]] = None,
             if config.path_excluded(relpath, rule.rule_id):
                 continue
             raw.extend(rule.check_file(modules[relpath]))
+    deep_raw: List[Violation] = []
+    if deep:
+        if deep_baseline is None:
+            deep_baseline = Baseline.load(config.deep_baseline_path)
+        deep_raw = _run_deep(root, config, active, report)
     raw.sort(key=lambda v: (v.relpath, v.line, v.col, v.rule_id))
+    deep_raw.sort(key=lambda v: (v.relpath, v.line, v.col, v.rule_id))
     for violation in raw:
         if baseline.suppresses(violation):
             report.suppressed += 1
         else:
             report.violations.append(violation)
+    for violation in deep_raw:
+        if deep_baseline is not None and deep_baseline.suppresses(violation):
+            report.suppressed += 1
+        else:
+            report.violations.append(violation)
     return report
+
+
+def _run_deep(root: Path, config: SimlintConfig,
+              active: Sequence[Rule], report: LintReport
+              ) -> List[Violation]:
+    """Parse ``config.deep_paths`` and evaluate the deep-scope rules."""
+    from repro.analysis.shardcheck import build_deep_context
+
+    deep_files = iter_python_files(root, config.deep_paths)
+    # Parse into a scratch report: the whole-program pass may overlap
+    # the per-file targets, and files_checked counts lint targets only.
+    scratch = LintReport()
+    modules = _parse_modules(deep_files, root, config, scratch)
+    report.parse_errors.extend(scratch.parse_errors)
+    context = build_deep_context(modules, config)
+    out: List[Violation] = []
+    for rule in active:
+        if rule.scope != "deep":
+            continue
+        for violation in rule.check_deep(context):
+            if not config.path_excluded(violation.relpath, rule.rule_id):
+                out.append(violation)
+    return out
+
+
+def _print_summary(report: LintReport, out: TextIO) -> None:
+    status = "clean" if report.clean else "FAILED"
+    print(f"simlint: {report.files_checked} files, "
+          f"{len(report.violations)} violations, "
+          f"{report.suppressed} baselined — {status}", file=out)
 
 
 def _print_report(report: LintReport, out: TextIO) -> None:
@@ -124,10 +186,7 @@ def _print_report(report: LintReport, out: TextIO) -> None:
         print(f"error: {error}", file=out)
     for violation in report.violations:
         print(violation.format(), file=out)
-    status = "clean" if report.clean else "FAILED"
-    print(f"simlint: {report.files_checked} files, "
-          f"{len(report.violations)} violations, "
-          f"{report.suppressed} baselined — {status}", file=out)
+    _print_summary(report, out)
 
 
 def _print_rules(out: TextIO) -> None:
@@ -152,7 +211,17 @@ def main(argv: Optional[Sequence[str]] = None,
                         help="report every violation, ignoring the baseline")
     parser.add_argument("--write-baseline", action="store_true",
                         help="acknowledge current violations into the "
-                             "baseline file and exit 0")
+                             "baseline file(s) and exit 0")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program rules "
+                             "(SIM006-SIM010) over the configured "
+                             "deep_paths")
+    parser.add_argument("--format", dest="fmt", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="report format (default: text)")
+    parser.add_argument("--out", default=None,
+                        help="write the report to this file instead of "
+                             "stdout (summary line still printed)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -168,19 +237,50 @@ def main(argv: Optional[Sequence[str]] = None,
             config.baseline = args.baseline
         baseline = (Baseline() if args.no_baseline
                     else Baseline.load(config.baseline_path))
+        deep_baseline = (Baseline() if args.no_baseline
+                         else Baseline.load(config.deep_baseline_path))
         report = run_lint(root, targets=args.targets or None, config=config,
-                          baseline=baseline)
+                          baseline=baseline, deep=args.deep,
+                          deep_baseline=deep_baseline)
     except (FileNotFoundError, ValueError) as exc:
         print(f"simlint: error: {exc}", file=out)
         return 2
 
     if args.write_baseline:
-        baseline.save(config.baseline_path, report.violations)
-        print(f"simlint: baselined {len(report.violations)} violations "
+        deep_ids = {rule.rule_id for rule in all_rules()
+                    if rule.scope == "deep"}
+        shallow = [v for v in report.violations if v.rule_id not in deep_ids]
+        deep_hits = [v for v in report.violations if v.rule_id in deep_ids]
+        baseline.save(config.baseline_path, shallow)
+        print(f"simlint: baselined {len(shallow)} violations "
               f"into {config.baseline_path}", file=out)
+        if args.deep:
+            deep_baseline.save(config.deep_baseline_path, deep_hits)
+            print(f"simlint: baselined {len(deep_hits)} deep violations "
+                  f"into {config.deep_baseline_path}", file=out)
         return 0
 
-    _print_report(report, out)
+    if args.fmt != "text":
+        rules = [rule for rule in all_rules()
+                 if config.rule_enabled(rule.rule_id)]
+        if args.fmt == "json":
+            payload = sarif.violations_to_json(report.violations)
+        else:
+            payload = sarif.violations_to_sarif(report.violations, rules)
+        if args.out is not None:
+            Path(args.out).write_text(payload, encoding="utf-8")
+            _print_summary(report, out)
+        else:
+            out.write(payload)
+            _print_summary(report, sys.stderr)
+        return 0 if report.clean else 1
+
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _print_report(report, handle)
+        _print_summary(report, out)
+    else:
+        _print_report(report, out)
     return 0 if report.clean else 1
 
 

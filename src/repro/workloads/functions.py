@@ -27,6 +27,7 @@ from repro import optflags
 from repro.mem.layout import MB, pages_for_bytes
 from repro.mem.trace import AccessTrace
 from repro.sim.rng import SeededRNG
+from repro.workloads.cache import memoized
 
 #: Content-id namespace offsets.  Pages of the shared language runtime get
 #: ids in a per-language space so the dedup store consolidates them across
@@ -36,7 +37,10 @@ _FUNC_SPACE = 1 << 44
 
 #: (seed, rng path, function) -> base AccessTrace.  Traces are immutable
 #: in practice (callers only read them or derive jittered copies).
-_BASE_TRACE_CACHE: Dict[tuple, "AccessTrace"] = {}
+#: Bounded LRU via :func:`repro.workloads.cache.memoized`, which also
+#: gates it on :data:`repro.optflags.trace_cache` — with the flag off,
+#: every call regenerates (the A/B contract for optimisation flags).
+_BASE_TRACE_CACHE: "OrderedDict[tuple, AccessTrace]" = OrderedDict()  # simlint: shard-safe (deterministic memo: value is a pure function of the key)
 
 #: (seed, rng path, function, invocation, jitter) -> jittered AccessTrace.
 #: :meth:`SeededRNG.fork` is stateless (seed + path hash), so an identical
@@ -44,7 +48,7 @@ _BASE_TRACE_CACHE: Dict[tuple, "AccessTrace"] = {}
 #: host time.  Bounded LRU: cluster runs revisit the same invocation index
 #: from every node sharing a (seed, path) pair.  Gated on
 #: :data:`repro.optflags.trace_cache`.
-_INV_TRACE_CACHE: "OrderedDict[tuple, AccessTrace]" = OrderedDict()
+_INV_TRACE_CACHE: "OrderedDict[tuple, AccessTrace]" = OrderedDict()  # simlint: shard-safe (deterministic memo: value is a pure function of the key)
 _INV_TRACE_CACHE_MAX = 4096
 
 
@@ -97,21 +101,21 @@ class FunctionProfile:
         deterministic, and workloads regenerate it once per invocation.
         """
         key = (rng.seed, rng.path, self.name)
-        hit = _BASE_TRACE_CACHE.get(key)
-        if hit is not None:
-            return hit
-        sub = rng.fork(f"{self.name}/base")
-        trace = AccessTrace.generate(
-            sub,
-            total_pages=self.image_pages,
-            touch_fraction=self.touch_fraction,
-            write_fraction=self.write_fraction,
-            loads_per_read_page=self.loads_per_read_page,
-            writable_start=min(self.image_pages,
-                               pages_for_bytes(self.runtime_shared_bytes)),
-        )
-        _BASE_TRACE_CACHE[key] = trace
-        return trace
+
+        def build() -> AccessTrace:
+            sub = rng.fork(f"{self.name}/base")
+            return AccessTrace.generate(
+                sub,
+                total_pages=self.image_pages,
+                touch_fraction=self.touch_fraction,
+                write_fraction=self.write_fraction,
+                loads_per_read_page=self.loads_per_read_page,
+                writable_start=min(
+                    self.image_pages,
+                    pages_for_bytes(self.runtime_shared_bytes)),
+            )
+
+        return memoized(_BASE_TRACE_CACHE, key, build)
 
     def make_trace(self, rng: SeededRNG, invocation: int = 0,
                    jitter: Optional[float] = None) -> AccessTrace:

@@ -1,0 +1,133 @@
+"""Purity/effect inference: shared objects, accesses, fixpoints."""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.effects import (PURE, READS_SHARED, WRITES_SHARED,
+                                    collect_shared_objects, infer_effects)
+from repro.analysis.rules import ParsedModule
+
+
+def modules_from(sources):
+    out = {}
+    for relpath, source in sources.items():
+        source = textwrap.dedent(source)
+        out[relpath] = ParsedModule(relpath=relpath, tree=ast.parse(source),
+                                    lines=source.splitlines())
+    return out
+
+
+def run(sources):
+    modules = modules_from(sources)
+    graph = build_callgraph(modules)
+    return infer_effects(modules, graph)
+
+
+def test_collect_shared_objects_and_pragma():
+    modules = modules_from({"src/repro/s.py": """
+        CACHE = {}
+        SAFE = {}  # simlint: shard-safe (pure function of key)
+        LIMIT = 4096
+        NAMES = ("a", "b")
+
+        class Box:
+            registry = []
+    """})
+    shared = collect_shared_objects(modules)
+    assert "repro.s.CACHE" in shared
+    assert not shared["repro.s.CACHE"].shard_safe
+    assert shared["repro.s.SAFE"].shard_safe
+    assert shared["repro.s.Box.registry"].kind == "class-attr"
+    # Immutable module constants are not shared *mutable* state.
+    assert "repro.s.LIMIT" not in shared
+    assert "repro.s.NAMES" not in shared
+
+
+def test_pure_function_is_pure():
+    report = run({"src/repro/p.py": """
+        def double(x):
+            return x * 2
+    """})
+    assert report.effects["repro.p.double"] == PURE
+
+
+def test_reader_and_writer_effects():
+    report = run({"src/repro/rw.py": """
+        TABLE = {}
+
+        def read(k):
+            return TABLE.get(k)
+
+        def write(k, v):
+            TABLE[k] = v
+
+        def mutate(k):
+            TABLE.pop(k, None)
+    """})
+    assert report.effects["repro.rw.read"] == READS_SHARED
+    assert report.effects["repro.rw.write"] == WRITES_SHARED
+    assert report.effects["repro.rw.mutate"] == WRITES_SHARED
+    writers = {a.function for a in report.writers_of("repro.rw.TABLE")}
+    assert writers == {"repro.rw.write", "repro.rw.mutate"}
+
+
+def test_effects_propagate_to_callers():
+    report = run({"src/repro/prop.py": """
+        STATE = {}
+
+        def poke():
+            STATE["x"] = 1
+
+        def outer():
+            poke()
+
+        def outermost():
+            outer()
+    """})
+    assert report.effects["repro.prop.outer"] == WRITES_SHARED
+    assert report.effects["repro.prop.outermost"] == WRITES_SHARED
+
+
+def test_shared_object_passed_to_param_mutator_is_a_write():
+    # The `memoized(_CACHE, key, build)` pattern: the helper mutates its
+    # parameter, so passing a module-level dict to it writes shared state.
+    report = run({"src/repro/memo.py": """
+        EVENTS = {}
+
+        def memoized(cache, key, build):
+            hit = cache.get(key)
+            if hit is None:
+                hit = build()
+                cache[key] = hit
+            return hit
+
+        def load(key):
+            return memoized(EVENTS, key, lambda: [1])
+    """})
+    assert 0 in report.mutated_params["repro.memo.memoized"]
+    assert report.effects["repro.memo.load"] == WRITES_SHARED
+    writers = {a.function for a in report.writers_of("repro.memo.EVENTS")}
+    assert "repro.memo.load" in writers
+
+
+def test_param_mutation_is_transitive_through_helpers():
+    report = run({"src/repro/chainmut.py": """
+        def inner(d):
+            d["k"] = 1
+
+        def outer(d):
+            inner(d)
+    """})
+    assert 0 in report.mutated_params["repro.chainmut.inner"]
+    assert 0 in report.mutated_params["repro.chainmut.outer"]
+
+
+def test_local_mutation_stays_pure():
+    report = run({"src/repro/loc.py": """
+        def build():
+            out = {}
+            out["k"] = 1
+            return out
+    """})
+    assert report.effects["repro.loc.build"] == PURE

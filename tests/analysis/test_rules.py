@@ -20,9 +20,13 @@ def hits(rule_id, source, relpath="src/repro/sample.py"):
 def test_registry_is_complete_and_sorted():
     rules = all_rules()
     assert [r.rule_id for r in rules] == [
-        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+        "SIM006", "SIM007", "SIM008", "SIM009", "SIM010"]
     for rule in rules:
         assert rule.title and rule.rationale
+    assert {r.rule_id: r.scope for r in rules if r.scope == "deep"} == {
+        "SIM006": "deep", "SIM007": "deep", "SIM008": "deep",
+        "SIM009": "deep", "SIM010": "deep"}
 
 
 # -- SIM001: wall-clock time ---------------------------------------------------

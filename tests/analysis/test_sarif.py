@@ -1,0 +1,61 @@
+"""SARIF/JSON emitters: schema shape, determinism, rule metadata."""
+
+import json
+
+from repro.analysis.rules import Violation, all_rules
+from repro.analysis.sarif import violations_to_json, violations_to_sarif
+
+VIOLATIONS = [
+    Violation(rule_id="SIM001", relpath="src/repro/a.py", line=3, col=8,
+              message="wall clock", snippet="t = time.time()"),
+    Violation(rule_id="SIM006", relpath="src/repro/b.py", line=10, col=0,
+              message="shared cache", snippet="CACHE = {}"),
+]
+
+
+def test_json_findings_round_trip():
+    data = json.loads(violations_to_json(VIOLATIONS))
+    assert data["tool"] == "simlint"
+    assert len(data["findings"]) == 2
+    first = data["findings"][0]
+    assert first == {"rule": "SIM001", "path": "src/repro/a.py",
+                     "line": 3, "col": 8, "message": "wall clock",
+                     "snippet": "t = time.time()"}
+
+
+def test_sarif_structure_and_rule_index():
+    rules = all_rules()
+    log = json.loads(violations_to_sarif(VIOLATIONS, rules))
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "simlint"
+    ids = [r["id"] for r in driver["rules"]]
+    assert ids == sorted(ids) and "SIM010" in ids
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["fullDescription"]["text"]
+        assert descriptor["properties"]["scope"] in (
+            "file", "project", "deep")
+    results = run["results"]
+    assert len(results) == 2
+    for result, violation in zip(results, VIOLATIONS):
+        assert result["ruleId"] == violation.rule_id
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == violation.line
+        assert region["startColumn"] == violation.col + 1
+        assert region["snippet"]["text"] == violation.snippet
+        assert ids[result["ruleIndex"]] == violation.rule_id
+
+
+def test_emitters_are_deterministic():
+    rules = all_rules()
+    assert violations_to_sarif(VIOLATIONS, rules) == \
+        violations_to_sarif(VIOLATIONS, rules)
+    assert violations_to_json(VIOLATIONS) == violations_to_json(VIOLATIONS)
+
+
+def test_empty_run_is_valid():
+    log = json.loads(violations_to_sarif([], all_rules()))
+    assert log["runs"][0]["results"] == []

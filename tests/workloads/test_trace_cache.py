@@ -1,0 +1,62 @@
+"""Regression tests for the base-trace memo (found by `lint --deep`).
+
+The original ``_BASE_TRACE_CACHE`` was a plain unbounded dict that
+memoised unconditionally — it ignored :data:`repro.optflags.trace_cache`
+(the A/B contract every optimisation flag must honour) and grew without
+limit across long parameter sweeps.  It now routes through
+:func:`repro.workloads.cache.memoized`: flag-gated, bounded LRU, and
+certified shard-safe (the value is a pure function of the key).
+"""
+
+import numpy as np
+
+from repro import optflags
+from repro.sim.rng import SeededRNG
+from repro.workloads import functions as fmod
+from repro.workloads.cache import MAX_ENTRIES
+from repro.workloads.functions import FUNCTIONS, function_by_name
+
+
+def setup_function(_):
+    fmod._BASE_TRACE_CACHE.clear()
+    fmod._INV_TRACE_CACHE.clear()
+
+
+def traces_equal(a, b):
+    return (np.array_equal(a.read_pages, b.read_pages)
+            and np.array_equal(a.write_pages, b.write_pages))
+
+
+def test_base_trace_cache_respects_the_flag():
+    f = function_by_name("DH")
+    with optflags.disabled("trace_cache"):
+        f.base_trace(SeededRNG(7))
+        assert len(fmod._BASE_TRACE_CACHE) == 0  # flag off -> no memo
+    f.base_trace(SeededRNG(7))
+    assert len(fmod._BASE_TRACE_CACHE) == 1
+
+
+def test_base_trace_identical_with_and_without_cache():
+    f = function_by_name("IR")
+    cached_cold = f.base_trace(SeededRNG(11))
+    cached_warm = f.base_trace(SeededRNG(11))
+    assert cached_warm is cached_cold  # memo hit
+    with optflags.disabled("trace_cache"):
+        uncached = f.base_trace(SeededRNG(11))
+    assert uncached is not cached_cold
+    assert traces_equal(uncached, cached_cold)
+
+
+def test_base_trace_cache_is_bounded():
+    rngs = [SeededRNG(seed) for seed in range(12)]
+    for rng in rngs:
+        for f in FUNCTIONS:
+            f.base_trace(rng)
+    assert len(fmod._BASE_TRACE_CACHE) <= MAX_ENTRIES
+
+
+def test_distinct_keys_get_distinct_traces():
+    f = function_by_name("DH")
+    a = f.base_trace(SeededRNG(1))
+    b = f.base_trace(SeededRNG(2))
+    assert not traces_equal(a, b)
