@@ -47,7 +47,7 @@ def test_quick_harness_report(tmp_path):
 
     # Cluster scale-out section: hot-path aggregate + transparent e2e.
     # Quick mode shrinks the scenario (4 nodes x 8k invocations), so
-    # only the shape and sanity are asserted here; the full run's >= 5x
+    # only the shape and sanity are asserted here; the full-scale
     # aggregate is tracked in the archived BENCH_perf.json.
     scale = report["cluster_scale"]
     assert set(scale["hot_paths"]) == {
@@ -70,3 +70,18 @@ def test_quick_harness_report(tmp_path):
     assert total > 0
     assert max(counts.values()) <= 0.5 * total
     assert counts == e2e["reference"]["dispatch_counts"]
+
+    # PDES scaling ladder: jobs=1 is the serial reference; every other
+    # worker count must dispatch the same invocations (bit-identity is
+    # pinned by tests/serverless/test_parallel_cluster.py — the bench
+    # only cross-checks counts and records wall/speedup/efficiency).
+    par = report["parallel"]
+    assert par["host_cpus"] >= 1
+    assert par["lookahead_s"] > 0
+    workers = par["workers"]
+    assert workers[0]["jobs"] == 1
+    assert workers[0]["mode"] in ("serial", "fallback")
+    assert any(w["mode"] == "parallel" for w in workers[1:])
+    for w in workers:
+        assert w["wall_s"] > 0 and w["inv_per_s"] > 0
+        assert w["speedup"] > 0 and w["efficiency"] > 0

@@ -159,7 +159,8 @@ def _run_surge(seed: int, profile: Dict[str, float],
     return report
 
 
-def run_overload_chaos(seed: int = 1, quick: bool = False) -> Dict:
+def run_overload_chaos(seed: int = 1, quick: bool = False,
+                       jobs: int = 0) -> Dict:
     """10x CPU overload plus a mid-surge node crash, three ways.
 
     Returns the scenario parameters plus ``uncontrolled``,
@@ -167,10 +168,21 @@ def run_overload_chaos(seed: int = 1, quick: bool = False) -> Dict:
     (controlled == replay, compared structurally) and ``p99_bounded``
     (the controlled tail stayed under the per-invocation deadline while
     the uncontrolled tail blew past it).
+
+    ``jobs`` is the unified worker-count option; overload runs arm the
+    control plane and inject faults — both zero-lookahead couplings —
+    so any requested parallelism falls back to serial execution and the
+    report's ``parallel`` key records the resolved worker count and the
+    fallback reasons.
     """
+    from repro.control.plane import PARALLEL_UNSAFE_REASON
+    from repro.serverless.partition import FAULTS_UNSAFE_REASON
+    from repro.sim.parallel import resolve_jobs
+
     profile = surge_profile(quick)
     control = overload_control()
     workload = _surge_workload(seed, profile)
+    n_jobs = resolve_jobs(jobs, int(profile["n_nodes"]))
 
     uncontrolled = _run_surge(seed, profile, None)
     controlled = _run_surge(seed, profile, overload_control())
@@ -197,6 +209,12 @@ def run_overload_chaos(seed: int = 1, quick: bool = False) -> Dict:
             "per_attempt": control.timeouts.per_attempt,
             "per_invocation": control.timeouts.per_invocation,
             "slo_threshold": control.slos[SURGE_FUNCTIONS[0]].threshold,
+        },
+        "parallel": {
+            "jobs_requested": jobs,
+            "jobs_resolved": n_jobs,
+            "mode": "fallback" if n_jobs > 1 else "serial",
+            "reasons": [PARALLEL_UNSAFE_REASON, FAULTS_UNSAFE_REASON],
         },
         "uncontrolled": uncontrolled,
         "controlled": controlled,

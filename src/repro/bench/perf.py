@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import os
 import resource
 import sys
 import time
@@ -583,6 +584,81 @@ def bench_cluster_scale(n_nodes: int = 10, invocations: int = 100_000,
     }
 
 
+# ----------------------------------------------------------------- parallel --
+
+def bench_parallel(n_nodes: int = 10, invocations: int = 100_000,
+                   seed: int = 3, quick: bool = False,
+                   jobs_cap: int = 0) -> Dict:
+    """Wall-clock scaling of the sharded PDES cluster runner.
+
+    The ``cluster_scale`` scenario (10-node rack, 100k quantised
+    invocations through micro functions, round-robin) run through
+    :func:`~repro.serverless.parallel.run_cluster_parallel` at each
+    worker count.  ``jobs=1`` takes the serial reference path; every
+    other count must merge back to the same dispatch counts (checked
+    here — full bit-identity of results and registries is pinned by the
+    golden tests).  ``speedup`` is serial wall over parallel wall and
+    ``efficiency`` divides it by the worker count; ``host_cpus`` is
+    recorded because scaling is bounded by it — worker processes on
+    fewer cores time-slice instead of overlapping, so efficiency on a
+    starved host measures sharding overhead, not parallelism.
+    """
+    from repro.serverless.parallel import run_cluster_parallel
+    from repro.serverless.partition import ClusterSpec
+
+    if quick:
+        n_nodes, invocations = 4, 8_000
+    worker_counts = [1, 2] if quick else [1, 2, 4]
+    if jobs_cap > 0:
+        worker_counts = [j for j in worker_counts if j <= jobs_cap] or [1]
+
+    suite = micro_suite(16)
+    duration = 600.0
+    rate = invocations / duration
+    workload = make_scaleout_uniform(seed=seed, functions=suite,
+                                     duration=duration, rate=rate,
+                                     quantum=0.05)
+    spec = ClusterSpec(n_nodes=n_nodes, seed=seed, policy="round-robin",
+                       functions=suite, keep_results=False)
+
+    serial_wall: Optional[float] = None
+    reference_counts: Optional[Dict] = None
+    lookahead: Optional[float] = None
+    workers: List[Dict] = []
+    for j in worker_counts:
+        t0 = time.perf_counter()
+        out = run_cluster_parallel(spec, workload, jobs=j)
+        wall = time.perf_counter() - t0
+        counts = out.result.dispatch_counts
+        if reference_counts is None:
+            reference_counts, serial_wall = counts, wall
+        elif counts != reference_counts:
+            raise RuntimeError(
+                f"parallel bench: jobs={j} diverged from the serial "
+                "reference dispatch counts")
+        if out.report.mode == "parallel":
+            lookahead = out.report.lookahead
+        n = out.result.recorder.count()
+        workers.append({
+            "jobs": j,
+            "mode": out.report.mode,
+            "n_shards": out.report.n_shards,
+            "n_windows": out.report.n_windows,
+            "wall_s": wall,
+            "inv_per_s": n / wall if wall > 0 else float("inf"),
+            "speedup": serial_wall / wall if wall > 0 else float("inf"),
+            "efficiency": (serial_wall / (wall * j)
+                           if wall > 0 else float("inf")),
+        })
+    return {
+        "n_nodes": n_nodes,
+        "scheduled_invocations": len(workload.events),
+        "host_cpus": os.cpu_count() or 1,
+        "lookahead_s": lookahead,
+        "workers": workers,
+    }
+
+
 # ------------------------------------------------------------ obs overhead --
 
 def bench_obs_overhead(quick: bool = False, seed: int = 5) -> Dict:
@@ -659,8 +735,14 @@ def peak_rss_mb() -> float:
 # -------------------------------------------------------------- entrypoint --
 
 def run_perf(quick: bool = False,
-             out_path: Optional[str] = "BENCH_perf.json") -> Dict:
-    """Run the full harness; write ``out_path`` (unless None); return it."""
+             out_path: Optional[str] = "BENCH_perf.json",
+             jobs: int = 0) -> Dict:
+    """Run the full harness; write ``out_path`` (unless None); return it.
+
+    ``jobs`` (the unified worker-count option) caps the worker counts
+    the ``parallel`` section sweeps; 0 keeps the profile's default
+    ladder (1/2/4 full, 1/2 quick).
+    """
     iters = 5 if quick else 30
     duration = 30.0 if quick else 120.0
     platforms = ("t-cxl",) if quick else ("t-cxl", "t-rdma")
@@ -671,6 +753,7 @@ def run_perf(quick: bool = False,
         "throughput": bench_throughput(duration=duration,
                                        platforms=platforms),
         "cluster_scale": bench_cluster_scale(quick=quick),
+        "parallel": bench_parallel(quick=quick, jobs_cap=jobs),
         "obs_overhead": bench_obs_overhead(quick=quick),
         "peak_rss_mb": peak_rss_mb(),
     }

@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.mem.layout import GB
+from repro.sim.parallel import resolve_jobs
 
 #: Dispatch policies the sweep exercises, by their registry names.
 POLICY_NAMES = ("warm-affinity", "least-loaded", "round-robin")
@@ -75,15 +76,8 @@ def default_grid(quick: bool = False) -> List[SweepConfig]:
 
 
 def _make_policy(name: str):
-    from repro.serverless.cluster import (LeastLoaded, RoundRobin,
-                                          WarmAffinity)
-    table = {"warm-affinity": WarmAffinity, "least-loaded": LeastLoaded,
-             "round-robin": RoundRobin}
-    try:
-        return table[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; known: {POLICY_NAMES}") from None
+    from repro.serverless.cluster import make_policy
+    return make_policy(name)
 
 
 def _make_workload(config: SweepConfig):
@@ -173,11 +167,10 @@ def run_sweep(configs: Optional[Sequence[SweepConfig]] = None,
     if len(set(ids)) != len(ids):
         raise ValueError("sweep grid has duplicate config ids")
     t0 = time.perf_counter()
-    if jobs == 1 or len(shards) <= 1:
+    n = resolve_jobs(jobs, len(shards))
+    if n == 1:
         reports = [run_config(c, obs_level=obs_level) for c in shards]
     else:
-        n = jobs if jobs > 0 else (multiprocessing.cpu_count() or 1)
-        n = max(1, min(n, len(shards)))
         with multiprocessing.Pool(n) as pool:
             reports = pool.starmap(run_config,
                                    [(c, obs_level) for c in shards])

@@ -95,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="CI-sized run: fewer iterations, shorter workload")
     perf.add_argument("--out", default="BENCH_perf.json",
                       help="output path (default: BENCH_perf.json)")
+    perf.add_argument("--jobs", type=int, default=0,
+                      help="cap the worker counts the parallel section "
+                           "sweeps (0 = profile default ladder)")
     perf.add_argument("--json", action="store_true",
                       help="emit raw JSON instead of pretty print")
     perf.add_argument("--profile", action="store_true",
@@ -127,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="CI-sized surge: smaller rack, shorter "
                                "overload window")
     overload.add_argument("--seed", type=int, default=1)
+    overload.add_argument("--jobs", type=int, default=0,
+                          help="requested worker processes; overload runs "
+                               "are control-armed + fault-injected, so "
+                               "the report records the serial fallback "
+                               "and its reasons")
     overload.add_argument("--out", default="BENCH_overload.json",
                           help="output path (default: BENCH_overload.json)")
     overload.add_argument("--json", action="store_true",
@@ -208,7 +216,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "perf":
         from repro.bench.perf import run_perf
-        runner = lambda: run_perf(quick=args.quick, out_path=args.out)
+        runner = lambda: run_perf(quick=args.quick, out_path=args.out,
+                                  jobs=args.jobs)
     elif args.command == "sweep":
         from repro.bench.sweep import run_sweep
         runner = lambda: run_sweep(jobs=args.jobs, quick=args.quick,
@@ -223,13 +232,15 @@ def main(argv=None) -> int:
                 from repro.obs.observer import observed
                 with observed(args.obs_level) as obs:
                     report = run_overload_chaos(seed=args.seed,
-                                                quick=args.quick)
+                                                quick=args.quick,
+                                                jobs=args.jobs)
                 report["obs"] = obs.registry.to_dict()
                 if obs.tracer is not None:
                     write_chrome_trace(obs.tracer, args.trace_out)
             else:
                 report = run_overload_chaos(seed=args.seed,
-                                            quick=args.quick)
+                                            quick=args.quick,
+                                            jobs=args.jobs)
             with open(args.out, "w") as fh:
                 json.dump(_jsonable(report), fh, indent=2)
                 fh.write("\n")

@@ -38,6 +38,21 @@ from repro.control.retry_budget import RetryBudget
 from repro.control.slo import SLOTracker
 from repro.sim.engine import Simulator
 
+#: Why an armed control plane pins a run to the serial path
+#: (:mod:`repro.serverless.partition` quotes this in fallback reports).
+#: Every mechanism here is *rack-global*: admission queues order
+#: arrivals across all nodes, breaker state from one node's attempt
+#: changes the next dispatch's candidate set anywhere, and the retry
+#: budget is earned/spent in global event order.  Each dispatch
+#: decision can therefore depend on any other shard's state zero
+#: simulated seconds earlier — there is no lookahead to window on, and
+#: sharding would require reconciling these deltas at every event,
+#: i.e. running serially.  The serial fallback keeps controlled runs
+#: bit-identical by construction.
+PARALLEL_UNSAFE_REASON = (
+    "control plane armed: admission queues, breaker state and the "
+    "retry budget are rack-global couplings with zero lookahead")
+
 
 class ControlPlane:
     """Overload-resilience machinery for one cluster (or platform) run."""

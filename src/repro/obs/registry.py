@@ -13,6 +13,7 @@ nothing downstream may depend on insertion order).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.serverless.metrics import (BINS_PER_DECADE, _LO_EXP,
@@ -44,6 +45,12 @@ def _hist_to_dict(hist: LogHistogram) -> Dict:
     return {
         "count": hist._count,
         "total": hist.total,
+        # Exact-sum partials in canonical form: a pure function of the
+        # exact sum, so A+B and B+A serialize identically, and JSON
+        # round-trips Python floats exactly (shortest-repr) — a
+        # deserialized histogram merges to bit-identical totals
+        # regardless of how samples were sharded across workers.
+        "partials": hist.canonical_partials(),
         "min": hist.vmin if hist._count else None,
         "max": hist.vmax if hist._count else None,
         "bins": [[idx, hist.counts[idx]] for idx in sorted(hist.counts)],
@@ -57,7 +64,9 @@ def _hist_to_dict(hist: LogHistogram) -> Dict:
 def _hist_from_dict(data: Dict) -> LogHistogram:
     hist = LogHistogram()
     hist._count = int(data["count"])
-    hist.total = float(data["total"])
+    partials = data.get("partials")
+    hist._partials = ([float(p) for p in partials]
+                      if partials is not None else [float(data["total"])])
     if data["min"] is not None:
         hist.vmin = float(data["min"])
         hist.vmax = float(data["max"])
@@ -71,9 +80,13 @@ class MetricsRegistry:
     """Counters / gauges / histograms, mergeable across sweep shards.
 
     Merge semantics: counters and histograms **add** (associative and
-    commutative); gauges take the **max** — a shard gauge is a level
-    observed within that shard, and the only cross-shard reading that
-    stays meaningful without a shared clock is the peak.
+    commutative); gauges depend on what the shards *are*.  Sweep shards
+    are independent worlds, so a shard gauge is a level observed within
+    that shard and the only cross-shard reading that stays meaningful
+    without a shared clock is the peak (``gauges="max"``, the default).
+    Node-group shards of one parallel cluster run partition a single
+    rack, so their levels are disjoint contributions that **add** back
+    to the serial level (``gauges="sum"``).
     """
 
     def __init__(self):
@@ -123,15 +136,21 @@ class MetricsRegistry:
 
     # -- merging ---------------------------------------------------------------
 
-    def merge_from(self, other: "MetricsRegistry") -> None:
+    def merge_from(self, other: "MetricsRegistry",
+                   gauges: str = "max") -> None:
+        if gauges not in ("max", "sum"):
+            raise ValueError(f"gauges must be 'max' or 'sum', "
+                             f"got {gauges!r}")
         for key in sorted(other._counters):
             self._counters[key] = (self._counters.get(key, 0.0)
                                    + other._counters[key])
         for key in sorted(other._gauges):
-            mine = self._gauges.get(key)
             theirs = other._gauges[key]
-            self._gauges[key] = (theirs if mine is None
-                                 else max(mine, theirs))
+            if gauges == "sum":
+                self._gauges[key] = self._gauges.get(key, 0.0) + theirs
+            else:
+                self._gauges[key] = max(self._gauges.get(key, -math.inf),
+                                        theirs)
         for key in sorted(other._hists):
             mine_h = self._hists.get(key)
             if mine_h is None:

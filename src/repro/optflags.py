@@ -28,6 +28,13 @@ Flags:
   schedule and schedule each invocation directly at its arrival time
   (``Simulator.spawn_at``) instead of spawning one ``Delay`` generator
   per arrival at t=0.
+* ``parallel_sim`` — eligible cluster runs shard per node group across
+  worker processes, each advancing its own ``Simulator`` inside
+  conservative lookahead windows (:mod:`repro.sim.parallel`,
+  :mod:`repro.serverless.parallel`).  Ineligible configurations
+  (dynamic dispatch state, armed control plane, injected faults) fall
+  back to the serial reference path, so results are bit-identical by
+  construction either way.
 
 ``FLAGS`` is the machine-readable registry: tooling enumerates it
 instead of hard-coding names.  ``repro.analysis`` rule SIM005 reads it
@@ -44,7 +51,7 @@ from typing import Iterator, Tuple
 #: attribute holding a bool; add new flags here and nowhere else.
 FLAGS: Tuple[str, ...] = ("cow_attach", "trace_cache", "timer_wheel",
                           "dispatch_index", "stream_metrics",
-                          "batch_arrivals")
+                          "batch_arrivals", "parallel_sim")
 
 cow_attach: bool = True
 trace_cache: bool = True
@@ -52,6 +59,7 @@ timer_wheel: bool = True
 dispatch_index: bool = True
 stream_metrics: bool = True
 batch_arrivals: bool = True
+parallel_sim: bool = True
 
 
 def _snapshot() -> Tuple[bool, ...]:

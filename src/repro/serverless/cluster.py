@@ -49,6 +49,20 @@ class DispatchPolicy:
              function: str) -> ServerlessPlatform:
         raise NotImplementedError
 
+    def static_assignment(self, n_events: int,
+                          n_nodes: int) -> Optional[List[int]]:
+        """Event-index -> node-index map, when it is a pure function of
+        arrival order.
+
+        Policies that consult live cluster state (warm pools, CPU
+        loads) return None: their picks depend on the interleaved
+        global timeline, so a sharded run cannot reproduce them without
+        zero-lookahead synchronisation and
+        :mod:`repro.serverless.partition` falls back to the serial
+        path instead.
+        """
+        return None
+
 
 class RoundRobin(DispatchPolicy):
     name = "round-robin"
@@ -62,6 +76,13 @@ class RoundRobin(DispatchPolicy):
         # million-invocation runs instead of growing without limit.
         self._next = (self._next + 1) % len(platforms)
         return platform
+
+    def static_assignment(self, n_events: int, n_nodes: int) -> List[int]:
+        # With every node healthy the cursor walks the full platform
+        # list, so invocation i lands on node i mod N independent of
+        # any runtime state — the property that makes a round-robin
+        # cluster run statically partitionable.
+        return [i % n_nodes for i in range(n_events)]
 
 
 def _load_key(platform: ServerlessPlatform) -> Tuple[int, str]:
@@ -94,6 +115,24 @@ class WarmAffinity(DispatchPolicy):
             if platform.warm.has(function):
                 return platform
         return min(platforms, key=_load_key)
+
+
+#: Built-in policies by registry name — the one table every surface
+#: (sweep grid, parallel runner specs, CLI) resolves names against.
+POLICIES: Dict[str, type] = {
+    RoundRobin.name: RoundRobin,
+    LeastLoaded.name: LeastLoaded,
+    WarmAffinity.name: WarmAffinity,
+}
+
+
+def make_policy(name: str) -> DispatchPolicy:
+    """Instantiate a built-in policy by its registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; "
+                         f"known: {tuple(sorted(POLICIES))}") from None
 
 
 class _DispatchIndex:
@@ -306,10 +345,36 @@ class Cluster:
                     AttemptTimeoutError("attempt", deadline))
         self.sim.call_at(deadline, fire)
 
+    # -- rack-level accounting ----------------------------------------------
+
+    def rack_pool_used_mb(self) -> float:
+        """Pool usage of the whole rack, not just the first node.
+
+        Platforms sharing one pool object (the TrEnv rack: one CXL
+        device per rack) are counted once; distinct pools (mixed racks)
+        are summed.  This definition is a pure function of the set of
+        pools, so serial and sharded runs agree by construction.
+        """
+        seen: Dict[int, float] = {}
+        for platform in self.platforms:
+            pool = getattr(platform, "pool", None)
+            if pool is not None:
+                seen[id(pool)] = pool.used_bytes
+        return sum(seen.values()) / (1 << 20)
+
     # -- workload driving ---------------------------------------------------
 
-    def run_workload(self, workload: Workload,
-                     warmup: Optional[float] = None) -> ClusterResult:
+    def prepare_workload(self, workload: Workload,
+                         warmup: Optional[float] = None) -> float:
+        """Untimed preprocessing: registration and per-run knobs.
+
+        Idempotent — :meth:`run_workload` always calls it, but callers
+        that must keep registration-time effects (pool/store writes,
+        registration RNG draws) outside an observation window can call
+        it first themselves, making the in-run call a no-op (the
+        parallel runner does this so every shard's registry covers the
+        timed run only).  Returns the effective warmup cutoff.
+        """
         chosen_warmup = workload.warmup if warmup is None else warmup
         # Derive the function set once, not per platform, and resolve
         # each missing name at most once for the whole rack.  Names are
@@ -327,6 +392,13 @@ class Cluster:
                     if profile is None:
                         profile = resolved[name] = function_by_name(name)
                     platform.register_function(profile)
+        return chosen_warmup
+
+    def run_workload(self, workload: Workload,
+                     warmup: Optional[float] = None,
+                     stepper: Optional[Callable[[Simulator], None]] = None
+                     ) -> ClusterResult:
+        chosen_warmup = self.prepare_workload(workload, warmup)
 
         def dispatch(event, slot):
             obs = obs_hooks.active
@@ -586,7 +658,13 @@ class Cluster:
                 slots.append(slot)
                 waiters.append(waiter)
         self._inflight = slots
-        self.sim.run()
+        # The stepper hook lets the parallel runner drive this clock in
+        # conservative lookahead windows (repro.serverless.parallel);
+        # it must drain the queue completely, exactly like run().
+        if stepper is None:
+            self.sim.run()
+        else:
+            stepper(self.sim)
         if any(not w.done for w in waiters):
             raise RuntimeError("cluster run left invocations unfinished")
 
@@ -600,10 +678,7 @@ class Cluster:
             merged.record_failure(function, when, reason)
         peaks = [p.node.memory.peak_bytes / (1 << 20)
                  for p in self.platforms]
-        pool_mb = 0.0
-        first = self.platforms[0]
-        if hasattr(first, "pool"):
-            pool_mb = first.pool.used_bytes / (1 << 20)
+        pool_mb = self.rack_pool_used_mb()
         control_summary = None
         if self.control_plane is not None:
             control_summary = self.control_plane.summary()

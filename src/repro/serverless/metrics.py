@@ -58,6 +58,55 @@ def percentile(values: Sequence[float], p: float) -> float:
 FLUSH_CHUNK = 8192
 
 
+def _accumulate_exact(partials: List[float], x: float) -> None:
+    """Fold ``x`` into a Shewchuk partials list (math.fsum's invariant).
+
+    The list always holds non-overlapping floats whose real-number sum
+    equals the exact sum of everything accumulated so far, so the
+    rounded readout (``math.fsum(partials)``) is independent of
+    accumulation order *and grouping* — merging shard histograms yields
+    bit-identical totals to a serial run no matter how samples were
+    partitioned, which the parallel cluster runner's registry contract
+    depends on.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    del partials[i:]
+    partials.append(x)
+
+
+def _canonical_partials(partials: Sequence[float]) -> List[float]:
+    """Canonical decomposition of the exact value held by ``partials``.
+
+    Grow-expansion partials are *not* canonical: two lists built from
+    the same multiset in different orders can hold different components
+    while summing to the same real number.  Anything that serializes
+    partials (the registry's process boundary) must first reduce them
+    to a form that depends only on the exact value, or shard merges
+    stop being bit-identical at the JSON level.  The greedy form —
+    repeatedly peel off the correctly-rounded remainder (``math.fsum``)
+    and subtract it exactly — is such a form: every step is a pure
+    function of the remaining real value.  Terminates in a handful of
+    iterations (each remainder is < 0.5 ulp of the previous component).
+    """
+    rest = list(partials)
+    out: List[float] = []
+    while True:
+        s = math.fsum(rest)
+        if s == 0.0:
+            return out
+        out.append(s)
+        _accumulate_exact(rest, -s)
+
+
 class LogHistogram:
     """Fixed-bin log-scale histogram with an exact small-sample fallback.
 
@@ -70,13 +119,15 @@ class LogHistogram:
     that.  Memory is O(occupied bins) + the bounded buffers.
     """
 
-    __slots__ = ("counts", "_count", "total", "vmin", "vmax", "_exact",
+    __slots__ = ("counts", "_count", "_partials", "vmin", "vmax", "_exact",
                  "_exact_cap", "_pending")
 
     def __init__(self, exact_cap: int = EXACT_SAMPLE_CAP):
         self.counts: Dict[int, int] = {}
         self._count = 0
-        self.total = 0.0
+        #: Exact running sum as Shewchuk partials (see
+        #: :func:`_accumulate_exact`); read through :attr:`total`.
+        self._partials: List[float] = []
         self.vmin = math.inf
         self.vmax = -math.inf
         self._exact: Optional[List[float]] = []
@@ -91,6 +142,16 @@ class LogHistogram:
     @property
     def count(self) -> int:
         return self._count + len(self._pending)
+
+    @property
+    def total(self) -> float:
+        """Correctly-rounded exact sum — order- and merge-invariant."""
+        return math.fsum(self._partials)
+
+    def canonical_partials(self) -> List[float]:
+        """Serialization-safe partials (see :func:`_canonical_partials`)."""
+        self._flush()
+        return _canonical_partials(self._partials)
 
     @property
     def exact(self) -> bool:
@@ -109,7 +170,9 @@ class LogHistogram:
             return
         arr = np.asarray(self._pending, dtype=float)
         self._count += arr.size
-        self.total += float(arr.sum())
+        partials = self._partials
+        for x in self._pending:
+            _accumulate_exact(partials, x)
         self.vmin = min(self.vmin, float(arr.min()))
         self.vmax = max(self.vmax, float(arr.max()))
         if self._exact is not None:
@@ -172,7 +235,10 @@ class LogHistogram:
         for idx, c in sorted(other.counts.items()):
             self.counts[idx] = self.counts.get(idx, 0) + c
         self._count += other._count
-        self.total += other.total
+        # Adding the peer's partials preserves exactness, so totals are
+        # independent of how samples were sharded before the merge.
+        for p in other._partials:
+            _accumulate_exact(self._partials, p)
         self.vmin = min(self.vmin, other.vmin)
         self.vmax = max(self.vmax, other.vmax)
         if self._exact is not None and other._exact is not None and \

@@ -1,0 +1,296 @@
+"""Parallel cluster runs: node-group shards across worker processes.
+
+:func:`run_cluster_parallel` executes one :class:`ClusterSpec` +
+:class:`~repro.workloads.synthetic.Workload` either serially (the
+reference path) or sharded across a ``multiprocessing`` pool, and the
+two are **bit-identical by construction**:
+
+* :func:`~repro.serverless.partition.plan_shards` first proves the run
+  statically partitionable (round-robin assignment, no control plane,
+  no faults) or names why not — ineligible runs take the serial path
+  and report the reasons;
+* each worker rebuilds the *full* rack from the spec — every platform,
+  every function registration in serial order — so shared pool/store
+  contents and registration-time RNG draws match the serial run, then
+  drives **only its owned events** (a contiguous node block) through a
+  :class:`~repro.sim.parallel.ShardRunner` window loop;
+* dispatch inside a worker replays the plan's static assignment via a
+  scripted policy, so per-node event streams equal the serial run's
+  slices exactly;
+* shard outcomes merge in shard order, which equals the serial
+  per-node merge order because node blocks are contiguous.
+
+Statically-partitioned runs exchange no cross-shard events (the plan
+proves ``channels_open=False``), so the window barriers degenerate to
+local pacing and workers never block on each other — that elision is
+what makes the scaling near-linear; the general barrier/mailbox
+protocol lives in :mod:`repro.sim.parallel` and is pinned by its own
+tests.  The windows still run for real: each worker steps its clock
+with ``run_window`` and folds every barrier into a digest the report
+exposes, so a scheduling regression that perturbed window structure
+would be visible across worker counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import optflags
+from repro.serverless.cluster import ClusterResult, DispatchPolicy
+from repro.serverless.metrics import LatencyRecorder
+from repro.serverless.partition import (ClusterSpec, ParallelPlan,
+                                        SerialFallback, plan_shards)
+from repro.sim.parallel import ParallelReport, ShardRunner, resolve_jobs
+from repro.workloads.synthetic import ArrivalEvent, Workload
+
+
+class ScriptedPolicy(DispatchPolicy):
+    """Replays a precomputed node-name sequence, one pick per event.
+
+    Inside a shard worker the stock policy cannot run: its cursor (or
+    state reads) would see only the shard's event subsequence and
+    drift off the plan.  The worker instead scripts the exact node
+    names the plan assigned to its events, in order.
+    """
+
+    name = "scripted"
+
+    def __init__(self, node_names: Sequence[str]):
+        self._names = list(node_names)
+        self._cursor = 0
+
+    def pick(self, platforms, function):
+        name = self._names[self._cursor]
+        self._cursor += 1
+        for platform in platforms:
+            if platform.node.name == name:
+                return platform
+        raise RuntimeError(f"scripted node {name!r} not in candidate set")
+
+
+@dataclass
+class _ShardOutcome:
+    """Picklable result of one shard worker."""
+
+    shard: int
+    recorder: LatencyRecorder
+    per_node_peak_mb: List[float]
+    dispatch_counts: Dict[str, int]
+    failed: List[Tuple[str, float, str]]
+    duration: float
+    pool_used_mb: float
+    digest: int
+    registry: Optional[Dict]
+
+
+@dataclass
+class ParallelRunOutcome:
+    """What :func:`run_cluster_parallel` hands back."""
+
+    result: ClusterResult
+    report: ParallelReport
+    #: Merged MetricsRegistry.to_dict() when obs_level != "off".
+    registry: Optional[Dict] = None
+
+
+def _sub_workload(workload: Workload, events: List[ArrivalEvent],
+                  shard: int) -> Workload:
+    return Workload(name=f"{workload.name}/shard{shard}",
+                    events=list(events), duration=workload.duration,
+                    soft_cap_bytes=workload.soft_cap_bytes,
+                    keep_alive=workload.keep_alive,
+                    warmup=workload.warmup)
+
+
+def _shard_worker(spec: ClusterSpec, workload: Workload, shard: int,
+                  group: Tuple[int, int], events: List[ArrivalEvent],
+                  node_seq: List[str], horizon: float, lookahead: float,
+                  warmup: Optional[float], obs_level: str) -> _ShardOutcome:
+    """One shard: rebuild the world, drive owned events in windows."""
+    from repro.obs.observer import observed
+    from repro.sim.parallel import plan_windows
+
+    # Build and prepare (replay registration) OUTSIDE the observed
+    # window on every path: each worker replays the full registration
+    # for state parity, so observing it would count registration-time
+    # metrics n_shards times.  The registry covers the timed run only —
+    # the serial path does the same, keeping the merged registry
+    # identical.  Preparing with the FULL workload (not the shard's
+    # subsequence) also matters for state parity itself: a shard whose
+    # events happen to use fewer functions would otherwise register a
+    # subset, skewing shared pool/store contents and registration RNG.
+    cluster = spec.build()
+    cluster.prepare_workload(workload, warmup=warmup)
+    cluster.policy = ScriptedPolicy(node_seq)
+    # The scripted policy is exact by construction; the dispatch index
+    # (built for stateful policies only) is never consulted for it.
+    assert cluster._index is None
+
+    runner_box: List[ShardRunner] = []
+
+    def stepper(sim):
+        plan = plan_windows(horizon, lookahead, channels_open=False)
+        runner = ShardRunner(shard, sim, plan)
+        runner_box.append(runner)
+        while runner.advance_one_window() is not None:
+            pass
+        runner.finish()
+
+    sub = _sub_workload(workload, events, shard)
+    registry_dict: Optional[Dict] = None
+    if obs_level != "off":
+        with observed(obs_level) as obs:
+            cluster.run_workload(sub, warmup=warmup, stepper=stepper)
+        registry_dict = obs.registry.to_dict()
+    else:
+        cluster.run_workload(sub, warmup=warmup, stepper=stepper)
+
+    start, end = group
+    owned = cluster.platforms[start:end]
+    chosen_warmup = workload.warmup if warmup is None else warmup
+    recorder = LatencyRecorder(
+        warmup=chosen_warmup,
+        keep_results=all(p.recorder.keep_results for p in owned))
+    for platform in owned:
+        recorder.merge_from(platform.recorder)
+    return _ShardOutcome(
+        shard=shard,
+        recorder=recorder,
+        per_node_peak_mb=[p.node.memory.peak_bytes / (1 << 20)
+                          for p in owned],
+        dispatch_counts=dict(cluster.dispatch_counts),
+        failed=list(cluster.failed),
+        duration=cluster.sim.now,
+        pool_used_mb=cluster.rack_pool_used_mb(),
+        digest=runner_box[0].digest,
+        registry=registry_dict)
+
+
+def _run_serial(spec: ClusterSpec, workload: Workload,
+                warmup: Optional[float], obs_level: str, mode: str,
+                jobs: int, reasons: List[str]) -> ParallelRunOutcome:
+    from repro.obs.observer import observed
+
+    cluster = spec.build()
+    # Same observation contract as the shard workers: registration is
+    # untimed preprocessing and stays outside the observed window.
+    cluster.prepare_workload(workload, warmup=warmup)
+    registry_dict: Optional[Dict] = None
+    if obs_level != "off":
+        with observed(obs_level) as obs:
+            result = cluster.run_workload(workload, warmup=warmup)
+        registry_dict = obs.registry.to_dict()
+    else:
+        result = cluster.run_workload(workload, warmup=warmup)
+    report = ParallelReport(mode=mode, jobs=jobs, n_shards=1, n_windows=0,
+                            lookahead=0.0, window_width=0.0,
+                            reasons=list(reasons))
+    return ParallelRunOutcome(result=result, report=report,
+                              registry=registry_dict)
+
+
+def _merge_outcomes(spec: ClusterSpec, workload: Workload,
+                    warmup: Optional[float], plan: ParallelPlan,
+                    outcomes: List[_ShardOutcome]) -> ClusterResult:
+    """Shard-order merge; equals run_workload's node-order merge."""
+    chosen_warmup = workload.warmup if warmup is None else warmup
+    merged = LatencyRecorder(
+        warmup=chosen_warmup,
+        keep_results=all(o.recorder.keep_results for o in outcomes))
+    for outcome in outcomes:
+        merged.merge_from(outcome.recorder)
+    failed: List[Tuple[str, float, str]] = []
+    for outcome in outcomes:
+        for failure in outcome.failed:
+            merged.record_failure(*failure)
+            failed.append(failure)
+    peaks: List[float] = []
+    for outcome in outcomes:
+        peaks.extend(outcome.per_node_peak_mb)
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        for node, n in outcome.dispatch_counts.items():
+            counts[node] = counts.get(node, 0) + n
+    pool_mbs = {round(o.pool_used_mb, 9) for o in outcomes}
+    if len(pool_mbs) != 1:
+        raise RuntimeError(
+            f"shard workers disagree on rack pool usage: {pool_mbs}")
+    return ClusterResult(
+        recorder=merged,
+        per_node_peak_mb=peaks,
+        total_peak_mb=sum(peaks),
+        pool_used_mb=outcomes[0].pool_used_mb,
+        dispatch_counts=dict(sorted(counts.items())),
+        duration=max(o.duration for o in outcomes),
+        availability=merged.availability(),
+        redispatches=0,
+        node_crashes=0,
+        failed=failed,
+        control=None)
+
+
+def run_cluster_parallel(spec: ClusterSpec, workload: Workload,
+                         jobs: int = 0, warmup: Optional[float] = None,
+                         obs_level: str = "off") -> ParallelRunOutcome:
+    """Run one cluster workload, sharded when provably safe.
+
+    ``jobs`` follows the unified rule (:func:`resolve_jobs`): 0 sizes
+    to ``min(cpu_count, n_nodes)``; the shard count equals the resolved
+    worker count (one contiguous node block per worker).  Results are
+    independent of the worker count: any eligible sharding merges back
+    to the serial result bit-for-bit, and ineligible configurations
+    run the serial path outright (``report.reasons`` says why).
+    """
+    # Sampled at entry, like every optflag (construction-time contract).
+    if not optflags.parallel_sim:
+        return _run_serial(spec, workload, warmup, obs_level,
+                           mode="serial", jobs=1,
+                           reasons=["optflags.parallel_sim disabled"])
+    n_jobs = resolve_jobs(jobs, spec.n_nodes)
+    plan = plan_shards(spec, workload, n_jobs)
+    if isinstance(plan, SerialFallback):
+        return _run_serial(spec, workload, warmup, obs_level,
+                           mode="fallback", jobs=n_jobs,
+                           reasons=list(plan.reasons))
+
+    node_names = [f"node{i}" for i in range(spec.n_nodes)]
+    tasks = []
+    for shard in range(plan.n_shards):
+        indices = plan.owned_events(shard)
+        events = [workload.events[i] for i in indices]
+        node_seq = [node_names[plan.assignment[i]] for i in indices]
+        tasks.append((spec, workload, shard, plan.node_groups[shard],
+                      events, node_seq, plan.horizon, plan.lookahead,
+                      warmup, obs_level))
+
+    if plan.n_shards == 1:
+        outcomes = [_shard_worker(*tasks[0])]
+    else:
+        with multiprocessing.Pool(plan.n_shards) as pool:
+            outcomes = pool.starmap(_shard_worker, tasks)
+    outcomes.sort(key=lambda o: o.shard)
+
+    result = _merge_outcomes(spec, workload, warmup, plan, outcomes)
+    window = plan.window_plan()
+    report = ParallelReport(
+        mode="parallel", jobs=plan.n_shards, n_shards=plan.n_shards,
+        n_windows=window.n_windows, lookahead=window.lookahead,
+        window_width=window.width,
+        shard_digests=[o.digest for o in outcomes])
+    registry: Optional[Dict] = None
+    if obs_level != "off":
+        from repro.obs.registry import MetricsRegistry
+        combined = MetricsRegistry()
+        for outcome in outcomes:
+            assert outcome.registry is not None
+            # Shards partition one rack: counters/histograms add and
+            # gauge levels are disjoint contributions, so "sum" rebuilds
+            # the serial registry exactly (unlike independent sweep
+            # shards, where only the max of a gauge is meaningful).
+            combined.merge_from(MetricsRegistry.from_dict(outcome.registry),
+                                gauges="sum")
+        registry = combined.to_dict()
+    return ParallelRunOutcome(result=result, report=report,
+                              registry=registry)

@@ -470,12 +470,19 @@ class Simulator:
 
     # -- running -------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Optional[float] = None, *,
+            pad: bool = True) -> float:
         """Drain events; stop at ``until`` (simulated seconds) if given.
 
         The loop body is :meth:`_peek_time` + :meth:`_step` fused: at
         trace scale the peek/step call chain itself is measurable, so
         the head is computed once per event and popped directly.
+
+        With ``pad`` (the default) the clock is advanced to ``until``
+        even when the last event lands earlier — the historical
+        behaviour.  ``pad=False`` leaves ``now`` at the last executed
+        event, which :meth:`run_window` needs so a windowed run reports
+        the same final clock as one uninterrupted ``run()``.
         """
         wheel = self._wheel
         queue = self._queue
@@ -508,7 +515,8 @@ class Simulator:
                 if head is None or (cb[0], cb[1]) < head:
                     when = cb[0]
                     if until is not None and when > until:
-                        self.now = until
+                        if pad:
+                            self.now = until
                         return self.now
                     heapq.heappop(callbacks)
                     if hooks.active is not None:
@@ -519,7 +527,8 @@ class Simulator:
             if head is None:
                 break
             if until is not None and head[0] > until:
-                self.now = until
+                if pad:
+                    self.now = until
                 return self.now
             if bucket is not None:
                 # Drain the whole bucket: pushes during a step are at
@@ -552,9 +561,22 @@ class Simulator:
                 continue
             self.now = when
             task.step(value)
-        if until is not None:
+        if until is not None and pad:
             self.now = max(self.now, until)
         return self.now
+
+    def run_window(self, until: float) -> float:
+        """Execute every event scheduled at ``time <= until``.
+
+        The conservative-PDES stepping primitive
+        (:mod:`repro.sim.parallel`): identical to ``run(until)`` except
+        the clock is *not* padded to the window boundary, so driving a
+        simulator window-by-window and then draining the remainder with
+        ``run()`` finishes with exactly the clock an uninterrupted
+        ``run()`` would report.  Events land strictly inside windows —
+        an event at the boundary itself belongs to the closing window.
+        """
+        return self.run(until, pad=False)
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Spawn ``gen`` and run until it completes; return its value."""

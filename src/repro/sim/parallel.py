@@ -1,0 +1,364 @@
+"""Conservative time-windowed PDES primitives.
+
+One :class:`~repro.sim.engine.Simulator` is a logical process in the
+classic parallel-discrete-event-simulation sense.  This module provides
+the engine-level machinery for running several of them side by side
+without giving up the repo's bit-identical determinism contract:
+
+* **Lookahead** (:func:`derive_lookahead`) — the conservative null
+  message bound.  Any cross-shard interaction in this simulator rides
+  on a modelled latency (rack-pool template attach, a one-sided RDMA
+  read, an SSD/NAS block fetch), so an event a shard emits at local
+  time ``t`` cannot take effect on a peer before ``t + lookahead``.
+  Shards may therefore advance through a window of that width without
+  hearing from each other.
+
+* **Windows** (:class:`WindowPlan`) — the shared schedule of barrier
+  times.  Every shard steps its simulator with
+  :meth:`~repro.sim.engine.Simulator.run_window` to each boundary in
+  turn; boundaries are a pure function of the plan, so every shard
+  observes the same barrier count regardless of worker scheduling.
+
+* **Mailboxes** (:class:`Mailbox`, :class:`MailboxRouter`) — the
+  deterministic cross-shard channel.  Posts carry ``(time, seq)``
+  stamped at the *sender*; a receiver drains its inbox at a barrier in
+  globally-defined ``(time, src shard, seq)`` order, which is invariant
+  to how the host OS interleaved the posting workers.
+
+* **Shard driving** (:class:`ShardRunner`, :func:`drive_shards`) — a
+  per-shard window loop with per-window event digests, and an
+  in-process driver that runs shards round-robin in an *arbitrary*
+  per-window order (the property tests feed it adversarial
+  permutations) while producing one deterministic outcome.
+
+The cluster-level runner (:mod:`repro.serverless.parallel`) builds on
+these across real process boundaries.  Statically-partitioned cluster
+runs prove ``channels_open=False`` at plan time, which lets the runner
+elide the barriers entirely — the windows then only pace the shard's
+own clock — but the protocol here is the general, channel-bearing form
+and is what the property tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+
+#: Windows per horizon when no cross-shard channel is open: with no
+#: messages to exchange the lookahead bound is irrelevant, so the plan
+#: widens windows to bound barrier overhead instead of latency.
+CLOSED_CHANNEL_WINDOWS = 32
+
+
+def derive_lookahead(model: Optional[LatencyModel] = None) -> float:
+    """Minimum cross-shard interaction latency (simulated seconds).
+
+    The smallest modelled cost by which any node-to-node effect is
+    delayed: a rack-pool template attach (``mmt_attach_base``), a
+    one-sided RDMA 4 KiB read, or an SSD/NAS block fetch.  Conservative
+    synchronisation only needs a *lower bound*, so the min over the
+    three transports is always safe regardless of which pool a cluster
+    actually mounts.
+    """
+    mem = (model or LatencyModel()).mem
+    return min(mem.mmt_attach_base, mem.rdma_fetch_4k, mem.nas_fetch_4k)
+
+
+def resolve_jobs(jobs: int, shards: int) -> int:
+    """The one worker-count rule shared by every ``--jobs`` surface.
+
+    ``jobs <= 0`` means "size to the machine": ``min(cpu_count,
+    shards)``.  Explicit requests are capped by the shard count (a
+    worker with no shard would idle) and floored at one.
+    """
+    if shards <= 0:
+        return 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, shards))
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """The shared barrier schedule for one parallel run.
+
+    ``width`` is the lookahead when any cross-shard channel is open
+    (the conservative bound), else ``horizon / CLOSED_CHANNEL_WINDOWS``
+    — barriers without messages are pure overhead, so the plan keeps
+    only enough of them to bound shard clock skew for progress
+    reporting.
+    """
+
+    horizon: float
+    lookahead: float
+    channels_open: bool
+
+    @property
+    def width(self) -> float:
+        if self.channels_open:
+            return self.lookahead
+        return max(self.lookahead, self.horizon / CLOSED_CHANNEL_WINDOWS)
+
+    @property
+    def n_windows(self) -> int:
+        if self.horizon <= 0:
+            return 0
+        width = self.width
+        n = int(self.horizon / width)
+        if n * width < self.horizon:
+            n += 1
+        return n
+
+    def boundaries(self) -> List[float]:
+        """Barrier times; the final boundary is exactly ``horizon``."""
+        width = self.width
+        out = [min(self.horizon, (i + 1) * width)
+               for i in range(self.n_windows)]
+        return out
+
+
+def plan_windows(horizon: float, lookahead: Optional[float] = None,
+                 channels_open: bool = False) -> WindowPlan:
+    if lookahead is None:
+        lookahead = derive_lookahead()
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be positive, got {lookahead}")
+    return WindowPlan(horizon=float(horizon), lookahead=float(lookahead),
+                      channels_open=channels_open)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One cross-shard event: stamped at the sender, totally ordered.
+
+    ``time`` is the sender's local clock at post; ``seq`` its per-pair
+    running index.  The receiving shard must not act on it before
+    ``time + lookahead`` (the conservative contract); delivery sorts by
+    ``(time, src, seq)`` so the merge order is a pure function of what
+    was posted, never of which worker posted first.
+    """
+
+    time: float
+    src: int
+    seq: int
+    payload: Any
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self.src, self.seq)
+
+
+class Mailbox:
+    """FIFO channel for one ordered (src shard, dst shard) pair."""
+
+    __slots__ = ("src", "dst", "_seq", "_queue")
+
+    def __init__(self, src: int, dst: int):
+        self.src = src
+        self.dst = dst
+        self._seq = 0
+        self._queue: List[Message] = []
+
+    def post(self, time: float, payload: Any) -> Message:
+        msg = Message(time=time, src=self.src, seq=self._seq,
+                      payload=payload)
+        self._seq += 1
+        self._queue.append(msg)
+        return msg
+
+    def drain(self) -> List[Message]:
+        out, self._queue = self._queue, []
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class MailboxRouter:
+    """All pairwise mailboxes of one run, drained deterministically.
+
+    Each ``(src, dst)`` pair owns an independent :class:`Mailbox` (so
+    posting never contends across senders), and :meth:`drain` merges a
+    destination's inboxes in ``(time, src, seq)`` order.  Within one
+    pair the post order *is* the (time, seq) order — senders post in
+    their own causal order — so the merged order is invariant to any
+    interleaving of posts from different shards.  The hypothesis test
+    in ``tests/sim/test_parallel_window.py`` pins exactly that.
+    """
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("router needs at least one shard")
+        self.n_shards = n_shards
+        self._boxes: Dict[Tuple[int, int], Mailbox] = {}
+
+    def mailbox(self, src: int, dst: int) -> Mailbox:
+        self._check(src)
+        self._check(dst)
+        box = self._boxes.get((src, dst))
+        if box is None:
+            box = self._boxes[(src, dst)] = Mailbox(src, dst)
+        return box
+
+    def _check(self, shard: int) -> None:
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard {shard} out of range [0, {self.n_shards})")
+
+    def post(self, src: int, dst: int, time: float, payload: Any) -> Message:
+        return self.mailbox(src, dst).post(time, payload)
+
+    def drain(self, dst: int) -> List[Message]:
+        """Deliver everything addressed to ``dst``, deterministically."""
+        self._check(dst)
+        pending: List[Message] = []
+        for src in range(self.n_shards):
+            box = self._boxes.get((src, dst))
+            if box is not None:
+                pending.extend(box.drain())
+        pending.sort(key=lambda m: m.sort_key)
+        return pending
+
+    def pending(self) -> int:
+        return sum(len(b) for b in self._boxes.values())
+
+
+def _fold_digest(digest: int, when: float, tag: str) -> int:
+    """One order-sensitive 64-bit step of a shard's event digest."""
+    h = hashlib.blake2b(f"{digest:016x}|{when!r}|{tag}".encode(),
+                        digest_size=8)
+    return int.from_bytes(h.digest(), "big")
+
+
+class ShardRunner:
+    """Drives one simulator through a :class:`WindowPlan`.
+
+    Between barriers the shard advances with
+    :meth:`~repro.sim.engine.Simulator.run_window`; at each barrier it
+    drains its inbox (messages become simulator events via
+    ``deliver``), folds the window boundary into an order-sensitive
+    digest, and reports progress.  After the final barrier
+    :meth:`finish` drains everything past the horizon — keep-alive
+    expiries and other strictly shard-local tails — with a plain
+    ``run()``, so the final clock equals an uninterrupted serial run's.
+    """
+
+    def __init__(self, shard: int, sim: Simulator, plan: WindowPlan,
+                 router: Optional[MailboxRouter] = None,
+                 deliver: Optional[Callable[[Simulator, Message],
+                                            None]] = None,
+                 on_barrier: Optional[Callable[[int, float], None]] = None):
+        self.shard = shard
+        self.sim = sim
+        self.plan = plan
+        self.router = router
+        self.deliver = deliver
+        self.on_barrier = on_barrier
+        self.windows_run = 0
+        self.digest = 0
+        self._boundaries = plan.boundaries()
+
+    @property
+    def done(self) -> bool:
+        return self.windows_run >= len(self._boundaries)
+
+    def next_boundary(self) -> Optional[float]:
+        if self.done:
+            return None
+        return self._boundaries[self.windows_run]
+
+    def advance_one_window(self) -> Optional[float]:
+        """Run to the next barrier; return its time (None when done)."""
+        boundary = self.next_boundary()
+        if boundary is None:
+            return None
+        self.sim.run_window(boundary)
+        if self.router is not None:
+            for msg in self.router.drain(self.shard):
+                if self.deliver is None:
+                    raise RuntimeError(
+                        f"shard {self.shard} received a message but has "
+                        "no deliver hook")
+                self.deliver(self.sim, msg)
+        self.windows_run += 1
+        self.digest = _fold_digest(self.digest, boundary,
+                                   f"w{self.windows_run}")
+        if self.on_barrier is not None:
+            self.on_barrier(self.windows_run, boundary)
+        return boundary
+
+    def finish(self) -> float:
+        """Drain the shard-local tail past the horizon; return now."""
+        if not self.done:
+            raise RuntimeError(
+                f"shard {self.shard} finished early: "
+                f"{self.windows_run}/{len(self._boundaries)} windows")
+        return self.sim.run()
+
+
+def drive_shards(runners: Sequence[ShardRunner],
+                 order: Optional[Iterable[Sequence[int]]] = None
+                 ) -> List[float]:
+    """In-process lockstep driver: all shards through all windows.
+
+    ``order`` optionally yields, per window, the order in which shards
+    take their turn inside that window — the in-process stand-in for OS
+    worker scheduling.  Because every shard still crosses every barrier
+    before any shard enters the next window (the conservative
+    invariant), the outcome must be independent of those permutations;
+    the property tests drive this with hypothesis-generated orders.
+
+    Returns each shard's final clock after :meth:`ShardRunner.finish`.
+    """
+    if not runners:
+        return []
+    n_windows = runners[0].plan.n_windows
+    for r in runners:
+        if r.plan.n_windows != n_windows:
+            raise ValueError("shards disagree on the window plan")
+    orders = iter(order) if order is not None else None
+    for _window in range(n_windows):
+        turn: Sequence[int] = range(len(runners))
+        if orders is not None:
+            try:
+                turn = next(orders)
+            except StopIteration:
+                orders = None
+        seen = sorted(turn)
+        if seen != list(range(len(runners))):
+            raise ValueError(f"window order {list(turn)} is not a "
+                             f"permutation of the shard set")
+        for idx in turn:
+            runners[idx].advance_one_window()
+    return [r.finish() for r in runners]
+
+
+@dataclass
+class ParallelReport:
+    """Host-side summary of one parallel run, for bench/CLI reports."""
+
+    mode: str                      # "parallel" | "serial" | "fallback"
+    jobs: int
+    n_shards: int
+    n_windows: int
+    lookahead: float
+    window_width: float
+    reasons: List[str] = field(default_factory=list)
+    shard_digests: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "n_shards": self.n_shards,
+            "n_windows": self.n_windows,
+            "lookahead_s": self.lookahead,
+            "window_width_s": self.window_width,
+            "reasons": list(self.reasons),
+            "shard_digests": [f"{d:016x}" for d in self.shard_digests],
+        }

@@ -1,0 +1,273 @@
+"""The conservative PDES layer: windows, mailboxes, shard runners.
+
+These tests pin the layer's determinism contracts in isolation from the
+cluster: window boundaries cover the horizon exactly, ``run_window``
+stepping reports the same final clock as an uninterrupted ``run()``,
+mailbox drain order is a pure function of sender stamps (invariant to
+any worker interleaving that preserves each sender's causal order —
+hypothesis shuffles the interleaving), and the lockstep shard driver
+produces identical digests under every per-window execution order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Delay, Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.parallel import (CLOSED_CHANNEL_WINDOWS, Mailbox,
+                                MailboxRouter, ShardRunner, derive_lookahead,
+                                drive_shards, plan_windows, resolve_jobs)
+
+
+# ------------------------------------------------------------- lookahead --
+
+def test_lookahead_is_min_cross_node_latency():
+    lat = LatencyModel().mem
+    assert derive_lookahead() == min(lat.mmt_attach_base,
+                                     lat.rdma_fetch_4k,
+                                     lat.nas_fetch_4k)
+    assert derive_lookahead() > 0.0
+
+
+def test_resolve_jobs_clamps_to_shards():
+    assert resolve_jobs(4, 2) == 2
+    assert resolve_jobs(1, 8) == 1
+    assert resolve_jobs(3, 3) == 3
+    assert resolve_jobs(5, 0) == 1
+    # jobs <= 0 sizes to the CPU count, still capped by the shard count.
+    assert 1 <= resolve_jobs(0, 64) <= 64
+    assert resolve_jobs(0, 1) == 1
+
+
+# --------------------------------------------------------------- windows --
+
+def test_window_boundaries_cover_horizon_exactly():
+    plan = plan_windows(1.0, 0.3, channels_open=True)
+    bounds = plan.boundaries()
+    assert bounds[-1] == 1.0
+    assert bounds == sorted(bounds)
+    assert all(b2 - b1 <= plan.width + 1e-12
+               for b1, b2 in zip(bounds, bounds[1:]))
+
+
+def test_open_channels_pin_width_to_lookahead():
+    plan = plan_windows(100.0, 0.001, channels_open=True)
+    assert plan.width == 0.001
+
+
+def test_closed_channels_widen_windows():
+    open_plan = plan_windows(100.0, 0.001, channels_open=True)
+    closed = plan_windows(100.0, 0.001, channels_open=False)
+    assert closed.width == 100.0 / CLOSED_CHANNEL_WINDOWS
+    assert closed.n_windows < open_plan.n_windows
+
+
+def test_plan_windows_rejects_nonpositive_lookahead():
+    with pytest.raises(ValueError):
+        plan_windows(10.0, 0.0)
+    with pytest.raises(ValueError):
+        plan_windows(10.0, -1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(0.01, 20.0), st.floats(1e-2, 10.0), st.booleans())
+def test_window_boundaries_properties(horizon, lookahead, channels_open):
+    plan = plan_windows(horizon, lookahead, channels_open=channels_open)
+    bounds = plan.boundaries()
+    assert len(bounds) == plan.n_windows
+    assert bounds[-1] == horizon
+    assert all(b > 0 for b in bounds)
+    assert bounds == sorted(set(bounds))
+
+
+# ------------------------------------------------------------ run_window --
+
+def test_run_window_stepping_matches_uninterrupted_run():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def proc():
+            for d in (0.1, 0.25, 0.4, 1.3):
+                yield Delay(d)
+                log.append(sim.now)
+
+        sim.spawn(proc())
+        return sim, log
+
+    ref_sim, ref_log = build()
+    ref_sim.run()
+
+    sim, log = build()
+    for bound in (0.5, 1.0, 1.5, 2.0, 2.5):
+        sim.run_window(bound)
+    sim.run()
+    assert log == ref_log
+    # run_window leaves the clock at the last executed event (no
+    # boundary padding), so the windowed run reports the same final
+    # clock as the uninterrupted reference.
+    assert sim.now == ref_sim.now
+
+
+def test_run_window_boundary_event_belongs_to_closing_window():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield Delay(1.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run_window(1.0)
+    assert fired == [1.0]
+
+
+# -------------------------------------------------------------- mailboxes --
+
+def test_mailbox_stamps_fifo_seq():
+    box = Mailbox(src=0, dst=1)
+    a = box.post(1.0, "a")
+    b = box.post(1.0, "b")
+    assert (a.seq, b.seq) == (0, 1)
+    assert len(box) == 2
+    drained = box.drain()
+    assert [m.payload for m in drained] == ["a", "b"]
+    assert len(box) == 0
+
+
+def test_router_bounds_shard_ids():
+    router = MailboxRouter(n_shards=2)
+    with pytest.raises(ValueError):
+        router.post(0, 5, 1.0, None)
+    with pytest.raises(ValueError):
+        MailboxRouter(n_shards=0)
+
+
+def test_router_pending_counts_all_inboxes():
+    router = MailboxRouter(n_shards=3)
+    router.post(0, 1, 0.5, None)
+    router.post(2, 1, 0.7, None)
+    assert router.pending() == 2
+    assert [m.src for m in router.drain(1)] == [0, 2]
+    assert router.pending() == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 3),                        # src shard
+              st.floats(0.0, 10.0, allow_nan=False)),   # send time
+    min_size=1, max_size=40),
+    st.randoms(use_true_random=False))
+def test_router_drain_order_invariant_to_worker_interleaving(sends, rnd):
+    """Drain order is (time, src, seq) — never the posting order.
+
+    The global interleaving of posts models OS scheduling of worker
+    processes; any interleaving that preserves each sender's own causal
+    (per-pair FIFO) order must deliver identically.  Each sender's send
+    times are made non-decreasing first — a shard's clock is monotone.
+    """
+    per_src = {}
+    for src, time in sends:
+        per_src.setdefault(src, []).append(time)
+    for times in per_src.values():
+        times.sort()
+
+    def deliver(interleave_rnd):
+        router = MailboxRouter(n_shards=4)
+        cursors = {src: 0 for src in per_src}
+        live = [s for s in per_src if per_src[s]]
+        while live:
+            src = live[interleave_rnd.randrange(len(live))] \
+                if interleave_rnd is not None else live[0]
+            router.post(src, 0, per_src[src][cursors[src]],
+                        payload=(src, cursors[src]))
+            cursors[src] += 1
+            if cursors[src] == len(per_src[src]):
+                live.remove(src)
+        return [(m.time, m.src, m.seq, m.payload)
+                for m in router.drain(0)]
+
+    reference = deliver(None)
+    shuffled = deliver(rnd)
+    assert shuffled == reference
+    assert [r[:3] for r in reference] == sorted(r[:3] for r in reference)
+
+
+# ---------------------------------------------------------- shard runners --
+
+def _make_runner(shard, plan, delays):
+    sim = Simulator()
+
+    def proc():
+        for d in delays:
+            yield Delay(d)
+
+    sim.spawn(proc())
+    return ShardRunner(shard, sim, plan)
+
+
+def test_drive_shards_runs_every_window():
+    plan = plan_windows(2.0, 0.5, channels_open=True)
+    runners = [_make_runner(i, plan, (0.3, 0.6, 0.9)) for i in range(3)]
+    drive_shards(runners)
+    assert all(r.done for r in runners)
+    assert all(r.windows_run == plan.n_windows for r in runners)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.randoms(use_true_random=False))
+def test_drive_shards_digest_invariant_to_window_order(rnd):
+    """Any per-window shard permutation yields identical digests."""
+    plan = plan_windows(2.0, 0.5, channels_open=True)
+
+    def digests(order):
+        runners = [_make_runner(i, plan, (0.2, 0.45, 1.1))
+                   for i in range(4)]
+        clocks = drive_shards(runners, order=order)
+        return [r.digest for r in runners], clocks
+
+    reference = digests(None)
+
+    def shuffled_orders():
+        for _ in range(plan.n_windows):
+            perm = list(range(4))
+            rnd.shuffle(perm)
+            yield perm
+
+    assert digests(shuffled_orders()) == reference
+
+
+def test_drive_shards_rejects_non_permutation_order():
+    plan = plan_windows(1.0, 0.5, channels_open=True)
+    runners = [_make_runner(i, plan, (0.2,)) for i in range(2)]
+    with pytest.raises(ValueError):
+        drive_shards(runners, order=iter([[0, 0]]))
+
+
+def test_finish_requires_all_windows_done():
+    plan = plan_windows(1.0, 0.5, channels_open=True)
+    runner = _make_runner(0, plan, (0.2,))
+    with pytest.raises(RuntimeError):
+        runner.finish()
+
+
+def test_runner_delivers_messages_at_barriers():
+    plan = plan_windows(1.0, 0.5, channels_open=True)
+    router = MailboxRouter(n_shards=2)
+    delivered = []
+    runner = ShardRunner(
+        0, Simulator(), plan, router=router,
+        deliver=lambda sim, msg: delivered.append(msg.payload))
+    router.post(1, 0, 0.1, "hello")
+    runner.advance_one_window()
+    assert delivered == ["hello"]
+
+
+def test_runner_without_deliver_hook_rejects_messages():
+    plan = plan_windows(1.0, 0.5, channels_open=True)
+    router = MailboxRouter(n_shards=2)
+    runner = ShardRunner(0, Simulator(), plan, router=router)
+    router.post(1, 0, 0.1, "boom")
+    with pytest.raises(RuntimeError):
+        runner.advance_one_window()
