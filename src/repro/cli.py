@@ -167,8 +167,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=1)
     trace.add_argument("--nodes", type=int, default=3,
                        help="rack size for the cluster scenario")
+    trace.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the cluster scenario "
+                            "(0 = CPU count); the exported trace is "
+                            "byte-identical for every worker count")
     trace.add_argument("--json", action="store_true",
                        help="emit raw JSON instead of pretty print")
+    why = sub.add_parser(
+        "why",
+        help="critical-path latency attribution: per-phase blame, "
+             "tail-cohort diff, flame-graph folded stacks")
+    why.add_argument("scenario", choices=("w2", "cluster", "overload"),
+                     help="what to explain: single-node W2, the sharded "
+                          "rack on W2, or a control-armed surge")
+    why.add_argument("--format", default="text", choices=("text", "json"),
+                     dest="fmt",
+                     help="stdout rendering (default: text)")
+    why.add_argument("--out", default=None,
+                     help="also write the JSON report to this path")
+    why.add_argument("--duration", type=float, default=60.0)
+    why.add_argument("--seed", type=int, default=1)
+    why.add_argument("--nodes", type=int, default=3,
+                     help="rack size for cluster/overload scenarios")
+    why.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the cluster scenario "
+                          "(the report is identical for every count)")
+    why.add_argument("--platform", default="t-cxl",
+                     help="platform key for the w2 scenario")
+    why.add_argument("--tail", type=float, default=0.99,
+                     help="tail cohort quantile (default: 0.99)")
     for name in EXPERIMENTS:
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--workload", default="W1", choices=("W1", "W2"))
@@ -212,7 +239,25 @@ def main(argv=None) -> int:
         print("sweep")
         print("overload")
         print("trace")
+        print("why")
         print("lint")
+        return 0
+    if args.command == "why":
+        from repro.obs.why import render_text, run_why_scenario
+        report = run_why_scenario(
+            args.scenario, duration=args.duration, seed=args.seed,
+            nodes=args.nodes, jobs=args.jobs, platform=args.platform,
+            tail_q=args.tail)
+        payload = _jsonable(report)
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+        if args.fmt == "json":
+            json.dump(payload, sys.stdout)
+            print()
+        else:
+            sys.stdout.write(render_text(report))
         return 0
     if args.command == "perf":
         from repro.bench.perf import run_perf
@@ -251,7 +296,7 @@ def main(argv=None) -> int:
         runner = lambda: run_traced_scenario(
             args.scenario, level=args.obs_level, out=args.out,
             platform=args.platform, duration=args.duration,
-            seed=args.seed, nodes=args.nodes)
+            seed=args.seed, nodes=args.nodes, jobs=args.jobs)
     else:
         runner = lambda: EXPERIMENTS[args.command](args)
     if getattr(args, "profile", False):

@@ -45,17 +45,19 @@ class PendingEntry:
     """One queued invocation waiting for an admission slot."""
 
     __slots__ = ("function", "arrival", "deadline", "priority", "seq",
-                 "gate")
+                 "gate", "ctx", "t_enq")
 
     def __init__(self, function: str, arrival: float,
                  deadline: Optional[float], priority: int, seq: int,
-                 gate: Event):
+                 gate: Event, ctx=None, t_enq: float = 0.0):
         self.function = function
         self.arrival = arrival
         self.deadline = deadline
         self.priority = priority
         self.seq = seq
         self.gate = gate
+        self.ctx = ctx
+        self.t_enq = t_enq
 
 
 class AdmissionController:
@@ -78,7 +80,7 @@ class AdmissionController:
     # -- arrival side ---------------------------------------------------------
 
     def request(self, function: str, arrival: float, now: float,
-                deadline: Optional[float]
+                deadline: Optional[float], ctx=None
                 ) -> Tuple[str, Optional[PendingEntry]]:
         """Ask for a slot.  Returns one of:
 
@@ -101,7 +103,8 @@ class AdmissionController:
         queue = self._queues.setdefault(function, [])
         entry = PendingEntry(function, arrival, deadline,
                              self.config.priority_for(function),
-                             next(self._seq), self.sim.event())
+                             next(self._seq), self.sim.event(),
+                             ctx=ctx, t_enq=now)
         if len(queue) < self.config.queue_capacity:
             queue.append(entry)
             self.queued += 1
@@ -152,7 +155,7 @@ class AdmissionController:
 
     # -- completion side ------------------------------------------------------
 
-    def release(self, function: str, now: float) -> None:
+    def release(self, function: str, now: float, ctx=None) -> None:
         """An admitted invocation finished: hand its slot onward."""
         if self.config.concurrency_for(function) is None:
             return
@@ -166,6 +169,13 @@ class AdmissionController:
                     entry.function, entry.arrival, now, "expired"))
                 continue
             self.admitted += 1
+            obs = obs_hooks.active
+            if obs is not None and obs.tracer is not None \
+                    and entry.ctx is not None:
+                obs.tracer.link("slot_grant", entry.t_enq, now,
+                                src=(ctx if ctx is not None else 0),
+                                dst=entry.ctx,
+                                args={"function": entry.function})
             entry.gate.trigger(GO)   # slot transferred, count unchanged
             return
         running = self._inflight.get(function, 0)

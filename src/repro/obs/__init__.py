@@ -10,7 +10,12 @@ the modules it observes.  Entry points:
 * :func:`repro.obs.capture.run_traced_scenario` — the CLI ``trace``
   subcommand's engine;
 * :mod:`repro.obs.export` — Chrome-trace JSON / Prometheus text / phase
-  breakdown exporters.
+  breakdown exporters;
+* :mod:`repro.obs.causal` / :mod:`repro.obs.why` — causal span graph,
+  bit-exact critical-path blame, and the tail-cohort "why" engine
+  behind the CLI ``why`` subcommand;
+* :mod:`repro.obs.merge` — folds per-shard span traces from a parallel
+  cluster run into one serial-identical tracer.
 """
 
 from __future__ import annotations

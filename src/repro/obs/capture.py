@@ -5,6 +5,14 @@ world, installs an observer at the requested level, runs the workload on
 the virtual clock, and exports whatever the level produced — a Chrome
 trace (Perfetto-loadable, ``--out``), the metric totals, and the
 paper-style per-phase breakdown table.
+
+The ``cluster`` scenario goes through the sharded runner
+(:func:`repro.serverless.parallel.run_cluster_parallel`), so ``--jobs``
+splits the rack across worker processes and the exported trace is
+**byte-identical** for every worker count: shard span traces merge back
+to serial-equivalent form (:mod:`repro.obs.merge`), and the report's
+``parallel.span_merge`` field says how the trace was obtained
+("serial", "merged", or an explicit fallback reason).
 """
 
 from __future__ import annotations
@@ -19,9 +27,8 @@ from repro.obs.observer import observed
 TRACE_SCENARIOS = ("w1", "w2", "cluster")
 
 
-def _run_scenario(scenario: str, platform: str, duration: float,
-                  seed: int, nodes: int):
-    """Build + run one scenario; returns (recorder, label)."""
+def _run_single(scenario: str, platform: str, duration: float, seed: int):
+    """Build + run one single-node scenario; returns (recorder, label)."""
     from repro.bench.harness import run_platform_workload
     from repro.workloads.synthetic import make_w1_bursty, make_w2_diurnal
 
@@ -29,35 +36,53 @@ def _run_scenario(scenario: str, platform: str, duration: float,
         workload = make_w1_bursty(seed=seed, duration=duration)
         result = run_platform_workload(platform, workload, seed=seed)
         return result.recorder, f"{platform}/W1"
-    if scenario == "w2":
-        workload = make_w2_diurnal(seed=seed, duration=duration,
-                                   mean_rate=1.6, soft_cap_bytes=5 * GB)
-        result = run_platform_workload(platform, workload, seed=seed)
-        return result.recorder, f"{platform}/W2"
-    if scenario == "cluster":
-        from repro.mem.pools import CXLPool
-        from repro.serverless.cluster import make_trenv_cluster
-        cluster = make_trenv_cluster(nodes, CXLPool(128 * GB), seed=seed)
-        workload = make_w2_diurnal(seed=seed, duration=duration,
-                                   mean_rate=1.6)
-        result = cluster.run_workload(workload)
-        return result.recorder, f"t-cxl-rack{nodes}/W2"
-    raise ValueError(
-        f"unknown trace scenario {scenario!r}; known: {TRACE_SCENARIOS}")
+    workload = make_w2_diurnal(seed=seed, duration=duration,
+                               mean_rate=1.6, soft_cap_bytes=5 * GB)
+    result = run_platform_workload(platform, workload, seed=seed)
+    return result.recorder, f"{platform}/W2"
+
+
+def _finish_report(report: Dict, registry, tracer, out, scenario: str,
+                   label: str, seed: int, duration: float) -> Dict:
+    if registry is not None:
+        report["metrics_totals"] = registry.totals()
+    if tracer is not None:
+        report["n_spans"] = tracer.n_spans
+        report["n_instants"] = tracer.n_instants
+        report["n_links"] = tracer.n_links
+        report["phase_breakdown"] = phase_breakdown(tracer)
+        report["phase_table"] = phase_table(tracer)
+        if out:
+            # Metadata must be jobs-independent: the byte-identity
+            # contract covers the whole exported file.
+            n_events = write_chrome_trace(
+                tracer, out,
+                metadata={"scenario": scenario, "label": label,
+                          "seed": seed, "duration_s": duration})
+            report["trace_path"] = str(out)
+            report["trace_events"] = n_events
+    return report
 
 
 def run_traced_scenario(scenario: str, level: str = "spans",
                         out: Optional[str] = "trace.json",
                         platform: str = "t-cxl", duration: float = 60.0,
-                        seed: int = 1, nodes: int = 3) -> Dict:
+                        seed: int = 1, nodes: int = 3,
+                        jobs: int = 1) -> Dict:
     """Run ``scenario`` observed at ``level``; returns a JSON-safe report.
 
     ``level="off"`` runs the scenario unobserved (useful as a timing
-    reference); no artifacts are produced then.
+    reference); no artifacts are produced then.  ``jobs`` applies to
+    the cluster scenario only (worker processes for the sharded
+    runner); single-node scenarios ignore it.
     """
+    if scenario == "cluster":
+        return _run_traced_cluster(level, out, duration, seed, nodes, jobs)
+    if scenario not in TRACE_SCENARIOS:
+        raise ValueError(
+            f"unknown trace scenario {scenario!r}; known: {TRACE_SCENARIOS}")
     with observed(level) as obs:
-        recorder, label = _run_scenario(scenario, platform, duration,
-                                        seed, nodes)
+        recorder, label = _run_single(scenario, platform, duration, seed)
     report: Dict = {
         "scenario": scenario,
         "label": label,
@@ -69,17 +94,37 @@ def run_traced_scenario(scenario: str, level: str = "spans",
     }
     if obs is None:
         return report
-    report["metrics_totals"] = obs.registry.totals()
-    if obs.tracer is not None:
-        report["n_spans"] = obs.tracer.n_spans
-        report["n_instants"] = obs.tracer.n_instants
-        report["phase_breakdown"] = phase_breakdown(obs.tracer)
-        report["phase_table"] = phase_table(obs.tracer)
-        if out:
-            n_events = write_chrome_trace(
-                obs.tracer, out,
-                metadata={"scenario": scenario, "label": label,
-                          "seed": seed, "duration_s": duration})
-            report["trace_path"] = str(out)
-            report["trace_events"] = n_events
-    return report
+    return _finish_report(report, obs.registry, obs.tracer, out,
+                          scenario, label, seed, duration)
+
+
+def _run_traced_cluster(level: str, out, duration: float, seed: int,
+                        nodes: int, jobs: int) -> Dict:
+    from repro.obs.registry import MetricsRegistry
+    from repro.serverless.parallel import run_cluster_parallel
+    from repro.serverless.partition import ClusterSpec
+    from repro.workloads.synthetic import make_w2_diurnal
+
+    workload = make_w2_diurnal(seed=seed, duration=duration, mean_rate=1.6)
+    spec = ClusterSpec(n_nodes=nodes, seed=seed)
+    outcome = run_cluster_parallel(spec, workload, jobs=jobs,
+                                   obs_level=level)
+    label = f"t-cxl-rack{nodes}/W2"
+    recorder = outcome.result.recorder
+    report: Dict = {
+        "scenario": "cluster",
+        "label": label,
+        "obs_level": level,
+        "duration_s": duration,
+        "seed": seed,
+        "invocations": recorder.count(),
+        "start_kinds": recorder.start_kind_counts(),
+        "parallel": dict(outcome.report.to_dict(),
+                         span_merge=outcome.span_merge),
+    }
+    if level == "off":
+        return report
+    registry = (MetricsRegistry.from_dict(outcome.registry)
+                if outcome.registry is not None else None)
+    return _finish_report(report, registry, outcome.tracer, out,
+                          "cluster", label, seed, duration)

@@ -1,0 +1,317 @@
+"""Causal span graph and per-invocation critical-path extraction.
+
+Builds on the raw :class:`~repro.obs.trace.SpanTracer` record streams:
+
+* **roots** — one ``cat="invocation"`` span per completed invocation,
+  carrying its start kind; its interval is exactly the recorder's e2e
+  (same ``t1 - t0`` subtraction, same floats);
+* **phases** — ``cat="phase"`` spans sharing the root's trace id
+  (queue, acquire, the restore sub-phases, fault_replay, exec, ...),
+  possibly nested (restore phases sit inside ``acquire``);
+* **links** — causal edges ``(t0, t1, kind, src, dst)``: who/what a
+  trace id spent an interval waiting on (admission queues, slot
+  hand-offs, dispatch backoff, crash re-dispatch, pool fetches).
+
+The critical path of an invocation tiles its root interval into
+segments, each blamed on the **deepest** phase span covering it (the
+innermost nested phase), on a covering causal link (``wait:<kind>``)
+where no phase reaches, or on ``"unattributed"`` as the final
+fallback.  Durations are exact: every boundary is one of the run's
+own float timestamps, each segment length is the exact rational
+``Fraction(b) - Fraction(a)``, and the segment sum telescopes to
+``Fraction(t1) - Fraction(t0)`` — whose ``float()`` is bit-equal to
+the recorded e2e because IEEE subtraction is correctly rounded.
+Blame per label is summed as Fractions first and floated only at the
+edge, so the per-phase blame of any invocation sums *bit-exactly* to
+its measured latency (``tests/property/test_prop_critical_path.py``).
+
+Work that happens before the root span opens (admission queueing,
+breaker backoff, crash re-dispatch — all recorded as links on the
+unbound context) is accounted separately as ``pre_waits``: it is real
+wall time for the client but is not part of the platform-recorded
+e2e, and conflating the two would break the bit-exact sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import SpanTracer
+
+#: Blame label for time inside the root no phase or link explains.
+UNATTRIBUTED = "unattributed"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One tile of an invocation's critical path."""
+
+    t0: float
+    t1: float
+    label: str
+    #: "span" (a phase covered it), "link" (a causal wait covered it),
+    #: or "gap" (unattributed).
+    source: str
+
+    @property
+    def exact(self) -> Fraction:
+        return Fraction(self.t1) - Fraction(self.t0)
+
+
+@dataclass
+class CriticalPath:
+    """The fully-attributed latency of one completed invocation."""
+
+    trace_id: int
+    function: str
+    kind: str
+    node: str
+    t0: float
+    t1: float
+    e2e: float
+    segments: List[Segment]
+    #: label -> exact blame; sums to Fraction(t1) - Fraction(t0).
+    blame: Dict[str, Fraction]
+    #: pool tier -> CPU-seconds charged to it (from fault_replay /
+    #: mmt_attach annotations; a derived reading, not part of the sum).
+    pools: Dict[str, Fraction]
+    #: link kind -> exact wait before the root opened (admission,
+    #: backoff, crash re-dispatch) — client-visible, outside the e2e.
+    pre_waits: Dict[str, Fraction]
+
+    @property
+    def total(self) -> Fraction:
+        return sum(self.blame.values(), Fraction(0))
+
+    def blame_s(self) -> Dict[str, float]:
+        return {label: float(self.blame[label])
+                for label in sorted(self.blame)}
+
+    def total_s(self) -> float:
+        """Bit-equal to :attr:`e2e` — the acceptance invariant."""
+        return float(self.total)
+
+
+def _clip(t0: float, t1: float, lo: float, hi: float
+          ) -> Optional[Tuple[float, float]]:
+    a, b = max(t0, lo), min(t1, hi)
+    return (a, b) if a < b else None
+
+
+class CausalGraph:
+    """Index of one tracer's roots, phases and causal links."""
+
+    def __init__(self, tracer: SpanTracer):
+        self.tracer = tracer
+        self._node_of_pid = {pid: name
+                             for name, pid in tracer.processes().items()}
+        self.roots: Dict[int, Tuple] = {}
+        self.phases: Dict[int, List[Tuple]] = {}
+        for span in tracer.spans:
+            t0, t1, pid, tid, name, cat, trace_id, args = span
+            if not trace_id:
+                continue
+            if cat == "invocation":
+                self.roots[trace_id] = span
+            elif cat == "phase":
+                self.phases.setdefault(trace_id, []).append(span)
+        self.links_by_dst: Dict[int, List[Tuple]] = {}
+        for link in tracer.links:
+            self.links_by_dst.setdefault(link[4], []).append(link)
+        # Canonical order everywhere: record order is shard-merge
+        # dependent, content order is not.
+        for spans in self.phases.values():
+            spans.sort(key=lambda s: (s[0], s[1], s[4]))
+        for links in self.links_by_dst.values():
+            links.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+
+    def trace_ids(self) -> List[int]:
+        """Completed invocations, in serial begin order."""
+        return sorted(self.roots)
+
+    def waiters_on(self, trace_id: int) -> List[Tuple]:
+        """Links whose *source* is this invocation (whom it delayed)."""
+        return sorted((link for link in self.tracer.links
+                       if link[3] == trace_id),
+                      key=lambda e: (e[0], e[1], e[2], e[4]))
+
+    # -- the critical path ---------------------------------------------------
+
+    def critical_path(self, trace_id: int) -> Optional[CriticalPath]:
+        """Attribute every instant of one invocation's e2e (or None
+        when the invocation never completed — no root span exists)."""
+        root = self.roots.get(trace_id)
+        if root is None:
+            return None
+        r0, r1, pid, _tid, function, _cat, _tid2, root_args = root
+        kind = (root_args or {}).get("kind", "unknown")
+        node = self._node_of_pid.get(pid, f"pid{pid}")
+
+        # Phase spans clipped to the root: spans from crashed earlier
+        # attempts lie entirely before r0 and vanish here.
+        clipped: List[Tuple[float, float, str]] = []
+        for t0, t1, _p, _t, name, _c, _id, _a in \
+                self.phases.get(trace_id, ()):
+            cut = _clip(t0, t1, r0, r1)
+            if cut is not None:
+                clipped.append((cut[0], cut[1], name))
+        links: List[Tuple[float, float, str]] = []
+        for t0, t1, lkind, _src, _dst, _a in \
+                self.links_by_dst.get(trace_id, ()):
+            cut = _clip(t0, t1, r0, r1)
+            if cut is not None:
+                links.append((cut[0], cut[1], f"wait:{lkind}"))
+
+        bounds = sorted({r0, r1}
+                        | {t for a, b, _ in clipped for t in (a, b)}
+                        | {t for a, b, _ in links for t in (a, b)})
+        segments: List[Segment] = []
+        for a, b in zip(bounds, bounds[1:]):
+            covering = [(t0, t1, name) for t0, t1, name in clipped
+                        if t0 <= a and t1 >= b]
+            if covering:
+                # Deepest = latest start, then earliest end (innermost
+                # of the nest); name breaks exact-interval ties.
+                t0, t1, name = max(covering,
+                                   key=lambda s: (s[0], -s[1], s[2]))
+                source = "span"
+            else:
+                waiting = [(t0, t1, name) for t0, t1, name in links
+                           if t0 <= a and t1 >= b]
+                if waiting:
+                    t0, t1, name = max(waiting,
+                                       key=lambda s: (s[0], -s[1], s[2]))
+                    source = "link"
+                else:
+                    name, source = UNATTRIBUTED, "gap"
+            if segments and segments[-1].label == name \
+                    and segments[-1].source == source \
+                    and segments[-1].t1 == a:
+                segments[-1] = Segment(segments[-1].t0, b, name, source)
+            else:
+                segments.append(Segment(a, b, name, source))
+
+        blame: Dict[str, Fraction] = {}
+        for seg in segments:
+            blame[seg.label] = blame.get(seg.label, Fraction(0)) \
+                + seg.exact
+
+        pools: Dict[str, Fraction] = {}
+        for t0, t1, _p, _t, name, _c, _id, args in \
+                self.phases.get(trace_id, ()):
+            if not args or _clip(t0, t1, r0, r1) is None:
+                continue
+            if name == "fault_replay":
+                for pool, cpu_s in (args.get("pools") or {}).items():
+                    pools[pool] = pools.get(pool, Fraction(0)) \
+                        + Fraction(cpu_s)
+            elif name == "mmt_attach":
+                pool = args.get("pool")
+                if pool:
+                    pools[pool] = pools.get(pool, Fraction(0)) \
+                        + (Fraction(t1) - Fraction(t0))
+
+        pre_waits: Dict[str, Fraction] = {}
+        for t0, t1, lkind, _src, _dst, _a in \
+                self.links_by_dst.get(trace_id, ()):
+            before = min(t1, r0)
+            if before > t0:
+                pre_waits[lkind] = pre_waits.get(lkind, Fraction(0)) \
+                    + (Fraction(before) - Fraction(t0))
+
+        return CriticalPath(
+            trace_id=trace_id, function=function, kind=kind, node=node,
+            t0=r0, t1=r1, e2e=r1 - r0, segments=segments, blame=blame,
+            pools=pools, pre_waits=pre_waits)
+
+    def all_paths(self) -> List[CriticalPath]:
+        paths = []
+        for trace_id in self.trace_ids():
+            path = self.critical_path(trace_id)
+            assert path is not None
+            paths.append(path)
+        return paths
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def _merge_into(acc: Dict[str, Fraction],
+                add: Dict[str, Fraction]) -> None:
+    for key, value in add.items():
+        acc[key] = acc.get(key, Fraction(0)) + value
+
+
+class BlameProfile:
+    """Exact blame totals over a set of invocations, mergeable.
+
+    All accumulators are ``Fraction`` sums keyed by strings, so merging
+    profiles is associative and order-invariant (exact rational
+    addition) — the property the parallel sweep and the hypothesis
+    tests rely on.
+    """
+
+    def __init__(self):
+        self.n = 0
+        self.total = Fraction(0)
+        self.by_phase: Dict[str, Fraction] = {}
+        self.by_node: Dict[str, Fraction] = {}
+        self.by_kind: Dict[str, Fraction] = {}
+        self.by_pool: Dict[str, Fraction] = {}
+        self.pre_waits: Dict[str, Fraction] = {}
+
+    def add_path(self, path: CriticalPath) -> None:
+        self.n += 1
+        total = path.total
+        self.total += total
+        _merge_into(self.by_phase, path.blame)
+        self.by_node[path.node] = self.by_node.get(path.node,
+                                                   Fraction(0)) + total
+        self.by_kind[path.kind] = self.by_kind.get(path.kind,
+                                                   Fraction(0)) + total
+        _merge_into(self.by_pool, path.pools)
+        _merge_into(self.pre_waits, path.pre_waits)
+
+    def merge_from(self, other: "BlameProfile") -> None:
+        self.n += other.n
+        self.total += other.total
+        _merge_into(self.by_phase, other.by_phase)
+        _merge_into(self.by_node, other.by_node)
+        _merge_into(self.by_kind, other.by_kind)
+        _merge_into(self.by_pool, other.by_pool)
+        _merge_into(self.pre_waits, other.pre_waits)
+
+    def to_dict(self) -> Dict:
+        def flat(acc: Dict[str, Fraction]) -> Dict[str, float]:
+            return {key: float(acc[key]) for key in sorted(acc)}
+        return {
+            "n": self.n,
+            "total_s": float(self.total),
+            "by_phase_s": flat(self.by_phase),
+            "by_node_s": flat(self.by_node),
+            "by_kind_s": flat(self.by_kind),
+            "by_pool_s": flat(self.by_pool),
+            "pre_wait_s": flat(self.pre_waits),
+        }
+
+
+def folded_stacks(paths: List[CriticalPath]) -> str:
+    """Flame-graph folded-stack lines: ``kind;node;phase <microsec>``.
+
+    Weights are the exact per-(kind, node, phase) blame rounded to
+    integer virtual microseconds; lines are sorted, so the output is a
+    pure function of the path set.
+    """
+    acc: Dict[Tuple[str, str, str], Fraction] = {}
+    for path in paths:
+        for label, exact in path.blame.items():
+            key = (path.kind, path.node, label)
+            acc[key] = acc.get(key, Fraction(0)) + exact
+    lines = []
+    for kind, node, label in sorted(acc):
+        micros = int(round(float(acc[(kind, node, label)] * 1_000_000)))
+        if micros > 0:
+            lines.append(f"{kind};{node};{label} {micros}")
+    return "\n".join(lines) + ("\n" if lines else "")

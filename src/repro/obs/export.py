@@ -35,12 +35,16 @@ def chrome_trace_events(tracer: SpanTracer) -> List[Dict]:
         for tid in range(CONTROL_TID + 1, tracer.lane_count(pid) + 1):
             events.append({"name": "thread_name", "ph": "M", "pid": pid,
                            "tid": tid, "args": {"name": f"lane-{tid}"}})
-    # Spans and instants in one stream, sorted by (ts, record order) so
-    # nested X events appear parent-first (Perfetto requires begin-sorted
-    # input for correct nesting on a tid).
+    # Spans and instants in one stream, begin-sorted (Perfetto requires
+    # begin-sorted input for correct nesting on a tid); at equal ts,
+    # longer spans first so parents precede children, then a pure
+    # content key.  The key must depend only on event *content*, never
+    # on record order: a parallel run's merged shard traces arrive in
+    # shard order, not the serial run's emission order, and byte-equal
+    # export of equal multisets is what makes the trace the fourth
+    # bit-identical artifact (result, records, registry, trace).
     timed = []
-    for i, (t0, t1, pid, tid, name, cat, trace_id, args) in \
-            enumerate(tracer.spans):
+    for t0, t1, pid, tid, name, cat, trace_id, args in tracer.spans:
         event = {"name": name, "cat": cat, "ph": "X",
                  "ts": t0 * 1e6, "dur": (t1 - t0) * 1e6,
                  "pid": pid, "tid": tid}
@@ -49,17 +53,25 @@ def chrome_trace_events(tracer: SpanTracer) -> List[Dict]:
             event_args["trace_id"] = trace_id
         if event_args:
             event["args"] = event_args
-        # Longer spans first at equal ts, so parents precede children.
-        timed.append((t0 * 1e6, -(t1 - t0), i, event))
-    for i, (t, pid, tid, name, args) in enumerate(tracer.instants):
+        timed.append((t0 * 1e6, -(t1 - t0), 0, pid, tid, name, trace_id,
+                      _canonical_args(args), event))
+    for t, pid, tid, name, args in tracer.instants:
         event = {"name": name, "cat": "instant", "ph": "i",
                  "ts": t * 1e6, "s": "t", "pid": pid, "tid": tid}
         if args:
             event["args"] = dict(args)
-        timed.append((t * 1e6, 0.0, len(tracer.spans) + i, event))
-    timed.sort(key=lambda entry: entry[:3])
-    events.extend(entry[3] for entry in timed)
+        timed.append((t * 1e6, 0.0, 1, pid, tid, name, 0,
+                      _canonical_args(args), event))
+    timed.sort(key=lambda entry: entry[:8])
+    events.extend(entry[8] for entry in timed)
     return events
+
+
+def _canonical_args(args: Optional[Dict]) -> str:
+    """A sortable, content-only rendering of an event's args."""
+    if not args:
+        return ""
+    return json.dumps(args, sort_keys=True)
 
 
 def to_chrome_trace(tracer: SpanTracer,
@@ -78,6 +90,100 @@ def write_chrome_trace(tracer: SpanTracer, path,
     payload = to_chrome_trace(tracer, metadata=metadata)
     Path(path).write_text(json.dumps(payload))
     return len(payload["traceEvents"])
+
+
+# -- schema validation ---------------------------------------------------------
+
+#: Minimal JSON-schema for the exported Chrome trace: the envelope, the
+#: three event phases we emit, and the per-phase required fields.  CI
+#: validates every exported trace against this before uploading it.
+CHROME_TRACE_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "ph": {"type": "string", "enum": ["X", "i", "M"]},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "cat": {"type": "string"},
+                    "s": {"type": "string", "enum": ["t", "p", "g"]},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: Extra per-phase requirements the generic schema cannot express.
+_PHASE_REQUIRED = {"X": ("ts", "dur"), "i": ("ts", "s"), "M": ("args",)}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+}
+
+
+def _validate_node(obj, schema: Dict, path: str, errors: List[str]) -> None:
+    """Recursive validator for the JSON-schema subset used above."""
+    expected = schema.get("type")
+    if expected is not None and not _TYPE_CHECKS[expected](obj):
+        errors.append(f"{path}: expected {expected}, "
+                      f"got {type(obj).__name__}")
+        return
+    enum = schema.get("enum")
+    if enum is not None and obj not in enum:
+        errors.append(f"{path}: {obj!r} not in {enum}")
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(obj, (int, float)) \
+            and obj < minimum:
+        errors.append(f"{path}: {obj!r} < minimum {minimum}")
+    if expected == "object":
+        for req in schema.get("required", ()):
+            if req not in obj:
+                errors.append(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        for key in sorted(props):
+            if key in obj:
+                _validate_node(obj[key], props[key], f"{path}.{key}",
+                               errors)
+    elif expected == "array":
+        items = schema.get("items")
+        if items is not None:
+            for i, entry in enumerate(obj):
+                _validate_node(entry, items, f"{path}[{i}]", errors)
+
+
+def validate_chrome_trace(data: Dict) -> List[str]:
+    """Validate an exported trace against :data:`CHROME_TRACE_SCHEMA`.
+
+    Returns a list of violations (empty = valid): schema mismatches
+    plus the per-phase field requirements (X events need ts/dur, i
+    events need ts/s, M events need args).
+    """
+    errors: List[str] = []
+    _validate_node(data, CHROME_TRACE_SCHEMA, "$", errors)
+    if not errors:
+        for i, event in enumerate(data["traceEvents"]):
+            for req in _PHASE_REQUIRED.get(event.get("ph"), ()):
+                if req not in event:
+                    errors.append(
+                        f"$.traceEvents[{i}]: ph={event.get('ph')!r} "
+                        f"requires {req!r}")
+    return errors
 
 
 # -- phase breakdown ----------------------------------------------------------

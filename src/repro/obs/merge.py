@@ -1,0 +1,157 @@
+"""Merge per-shard span traces into one serial-equivalent trace.
+
+A parallel cluster run (:func:`repro.serverless.parallel
+.run_cluster_parallel`) executes each node-group shard in its own
+worker process, so each worker records its own :class:`SpanTracer`.
+This module folds those shard traces back into a single tracer whose
+Chrome-trace export is **byte-identical** to the serial run's — the
+trace joins the result, the records and the registry as the fourth
+bit-identical artifact.
+
+Why this works without coordination:
+
+* **pids** — every worker rebuilds the full rack and prebinds node
+  pids in rack order (:meth:`SpanTracer.prebind_nodes`), so the pid
+  map is a pure function of the spec; the merge just checks the maps
+  agree.
+* **lanes (tids)** — lane allocation is per-pid (free-lane heap +
+  high-water mark), and a shard drives exactly the serial per-node
+  event subsequence, so the lanes a shard assigns on its own nodes
+  equal the serial run's.
+* **trace ids** — the only shard-local state.  Serially, ids are
+  handed out in task wake order: events sorted by ``(max(0, time),
+  event index)``.  A shard hands ids to its *owned* events in the
+  same wake order, so shard-local id ``k+1`` maps to the serial id
+  of the shard's ``k``-th owned event in wake order.  The remap is
+  computed from the workload + plan alone — no runtime channel.
+
+Anything that breaks these invariants raises :class:`SpanMergeError`;
+the runner surfaces its message as the explicit span-merge fallback
+reason and re-runs the serial reference path for the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.trace import SpanTracer
+
+
+class SpanMergeError(RuntimeError):
+    """Why shard traces cannot be merged (the surfaced fallback reason)."""
+
+
+def serial_trace_ids(event_times: Sequence[float]) -> List[int]:
+    """Event index -> the trace id the *serial* run assigns that event.
+
+    The serial dispatcher spawns one task per event, in event order;
+    tasks wake (and call ``begin``) in ``(scheduled time, spawn seq)``
+    order, and an event scheduled in the past wakes "now" — hence the
+    ``max(0, time)`` clamp (both serial and shard clocks start at 0).
+    """
+    order = sorted(range(len(event_times)),
+                   key=lambda i: (max(0.0, event_times[i]), i))
+    ids = [0] * len(order)
+    for pos, idx in enumerate(order):
+        ids[idx] = pos + 1
+    return ids
+
+
+def shard_remaps(event_times: Sequence[float],
+                 plan) -> List[Dict[int, int]]:
+    """Per shard: {shard-local trace id: serial trace id}.
+
+    ``plan`` is a :class:`~repro.serverless.partition.ParallelPlan`;
+    the remap depends only on the workload's event times and the
+    plan's static event->node assignment.
+    """
+    serial_ids = serial_trace_ids(event_times)
+    remaps: List[Dict[int, int]] = []
+    for shard in range(plan.n_shards):
+        owned = plan.owned_events(shard)
+        wake = sorted(owned,
+                      key=lambda i: (max(0.0, event_times[i]), i))
+        remaps.append({k + 1: serial_ids[idx]
+                       for k, idx in enumerate(wake)})
+    return remaps
+
+
+def _canon(args: Optional[Dict]) -> str:
+    return json.dumps(args, sort_keys=True) if args else ""
+
+
+def merge_shard_tracers(tracer_dicts: Sequence[Optional[Dict]],
+                        remaps: Sequence[Dict[int, int]]) -> SpanTracer:
+    """Fold shard ``SpanTracer.to_dict()`` snapshots into one tracer.
+
+    Raises :class:`SpanMergeError` when the shard snapshots violate a
+    merge invariant (missing tracer, disagreeing pid maps, a shard
+    whose begin count differs from the events the plan says it owns).
+    The merged tracer's records are sorted by a content key so the
+    result is identical for any shard count that merges at all.
+    """
+    if not tracer_dicts:
+        raise SpanMergeError("no shard traces to merge")
+    if len(tracer_dicts) != len(remaps):
+        raise SpanMergeError(
+            f"{len(tracer_dicts)} shard traces but {len(remaps)} remap "
+            f"tables")
+    for shard, data in enumerate(tracer_dicts):
+        if data is None:
+            raise SpanMergeError(f"shard {shard} recorded no span trace")
+    procs0 = [list(p) for p in tracer_dicts[0]["procs"]]
+    for shard, data in enumerate(tracer_dicts):
+        procs = [list(p) for p in data["procs"]]
+        if procs != procs0:
+            raise SpanMergeError(
+                f"shard {shard} pid map differs from shard 0 "
+                f"(prebind invariant broken)")
+
+    merged = SpanTracer()
+    merged._procs = {name: int(pid) for name, pid in procs0}
+    lane_high: Dict[int, int] = {}
+    for shard, (data, remap) in enumerate(zip(tracer_dicts, remaps)):
+        n_local = int(data["next_id"]) - 1
+        if n_local != len(remap):
+            raise SpanMergeError(
+                f"shard {shard} began {n_local} traces but the plan "
+                f"owns {len(remap)} events")
+
+        def rid(local_id: int) -> int:
+            if local_id == 0:
+                return 0
+            mapped = remap.get(int(local_id))
+            if mapped is None:
+                raise SpanMergeError(
+                    f"shard {shard} referenced unknown local trace id "
+                    f"{local_id}")
+            return mapped
+
+        for t0, t1, pid, tid, name, cat, trace_id, args in data["spans"]:
+            merged.spans.append((t0, t1, int(pid), int(tid), name, cat,
+                                 rid(trace_id), args))
+        for t, pid, tid, name, args in data["instants"]:
+            if args and "trace_id" in args:
+                args = dict(args)
+                args["trace_id"] = rid(args["trace_id"])
+            merged.instants.append((t, int(pid), int(tid), name, args))
+        for t0, t1, kind, src, dst, args in data["links"]:
+            merged.links.append((t0, t1, kind, rid(src), rid(dst), args))
+        for pid, high in data["lane_high"]:
+            pid = int(pid)
+            lane_high[pid] = max(lane_high.get(pid, 0), int(high))
+
+    merged._lane_high = dict(sorted(lane_high.items()))
+    merged._next_id = 1 + sum(len(r) for r in remaps)
+    # Content-key sort: shard concatenation order must not leak into
+    # the merged object (2-shard and 4-shard merges of the same run
+    # must be identical tracers; exports sort content-purely anyway).
+    merged.spans.sort(
+        key=lambda s: (s[0], s[1], s[2], s[3], s[4], s[5], s[6],
+                       _canon(s[7])))
+    merged.instants.sort(
+        key=lambda s: (s[0], s[1], s[2], s[3], _canon(s[4])))
+    merged.links.sort(
+        key=lambda s: (s[0], s[1], s[2], s[3], s[4], _canon(s[5])))
+    return merged

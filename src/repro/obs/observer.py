@@ -117,9 +117,12 @@ class Observability:
         self.registry.inc("mmt_attach_pages_total", template.total_pages)
         self.registry.observe("mmt_attach_seconds", t1 - t0)
         if self.tracer is not None:
+            pools = sorted({vma.pool.name for vma in template.vmas
+                            if vma.pool is not None})
             self.tracer.span(ctx, "mmt_attach", t0, t1,
                              args={"template": template.key,
-                                   "pages": template.total_pages})
+                                   "pages": template.total_pages,
+                                   "pool": ",".join(pools) or "local"})
 
     # -- fault-domain hooks ---------------------------------------------------
 

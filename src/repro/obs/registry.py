@@ -28,12 +28,48 @@ def _key(name: str, labels: Dict[str, object]) -> MetricKey:
 
 
 def render_key(key: MetricKey) -> str:
-    """Prometheus-style rendering: ``name{a="x",b="y"}``."""
+    """Prometheus-style rendering: ``name{a="x",b="y"}``.
+
+    This is the *internal* canonical form (``totals()``, merge-equality
+    checks); :meth:`MetricsRegistry.prometheus_text` uses the escaped
+    variant below so exposition output follows the text-format grammar
+    without perturbing keys recorded in existing reports.
+    """
     name, labels = key
     if not labels:
         return name
     inner = ",".join(f'{k}="{v}"' for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def _escape_label_value(value: str) -> str:
+    """Text-exposition escaping for a label value: ``\\``, ``"``, LF."""
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: only backslash and line feed are special."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _prom_key(key: MetricKey) -> str:
+    """Exposition-format rendering with escaped label values."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def metric_help(name: str) -> str:
+    """The HELP text for a metric family (generic but grammar-valid)."""
+    base = name
+    for suffix in ("_total", "_seconds", "_bytes", "_pages", "_mb"):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+            break
+    return f"{base.replace('_', ' ')} (repro.obs)"
 
 
 def _bin_upper_edge(idx: int) -> float:
@@ -187,28 +223,34 @@ class MetricsRegistry:
     # -- exposition ------------------------------------------------------------
 
     def prometheus_text(self) -> str:
-        """Prometheus text exposition, fully sorted.
+        """Prometheus text exposition, fully sorted and format-conformant.
 
+        Each metric family gets ``# HELP`` and ``# TYPE`` lines (exactly
+        once, HELP first, per the exposition-format grammar) and label
+        values are escaped (backslash, double-quote, newline — the three
+        characters the grammar requires escaping inside label values).
         Histograms render cumulative ``_bucket{le=...}`` series over the
         occupied log-scale bins plus ``+Inf``, ``_sum`` and ``_count``.
         """
         lines: List[str] = []
         seen_types: set = set()
 
-        def type_line(name: str, kind: str) -> None:
+        def header(name: str, kind: str) -> None:
             if name not in seen_types:
                 seen_types.add(name)
+                lines.append(f"# HELP {name} "
+                             f"{_escape_help(metric_help(name))}")
                 lines.append(f"# TYPE {name} {kind}")
 
         for key in sorted(self._counters):
-            type_line(key[0], "counter")
-            lines.append(f"{render_key(key)} {self._counters[key]:g}")
+            header(key[0], "counter")
+            lines.append(f"{_prom_key(key)} {self._counters[key]:g}")
         for key in sorted(self._gauges):
-            type_line(key[0], "gauge")
-            lines.append(f"{render_key(key)} {self._gauges[key]:g}")
+            header(key[0], "gauge")
+            lines.append(f"{_prom_key(key)} {self._gauges[key]:g}")
         for key in sorted(self._hists):
             name, labels = key
-            type_line(name, "histogram")
+            header(name, "histogram")
             hist = self._hists[key]
             hist._flush()
             cum = 0
@@ -216,13 +258,13 @@ class MetricsRegistry:
                 cum += hist.counts[idx]
                 le = (("le", f"{_bin_upper_edge(idx):.9g}"),)
                 lines.append(
-                    f"{render_key((name + '_bucket', labels + le))} {cum}")
+                    f"{_prom_key((name + '_bucket', labels + le))} {cum}")
             inf = (("le", "+Inf"),)
             lines.append(
-                f"{render_key((name + '_bucket', labels + inf))} "
+                f"{_prom_key((name + '_bucket', labels + inf))} "
                 f"{hist._count}")
-            lines.append(f"{render_key((name + '_sum', labels))} "
+            lines.append(f"{_prom_key((name + '_sum', labels))} "
                          f"{hist.total:g}")
-            lines.append(f"{render_key((name + '_count', labels))} "
+            lines.append(f"{_prom_key((name + '_count', labels))} "
                          f"{hist._count}")
         return "\n".join(lines) + ("\n" if lines else "")

@@ -25,13 +25,15 @@ engine interleaves generator tasks at the same virtual tick, so any
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 #: pid of the rack-level control track.
 RACK_PID = 0
 #: tid of the per-node (and rack) control track.
 CONTROL_TID = 0
+
+#: Accepted by SpanTracer.link for either endpoint.
+OptionalCtxOrId = Union["TraceContext", int]
 
 
 class TraceContext:
@@ -73,10 +75,15 @@ class SpanTracer:
         self.spans: List[Tuple] = []
         # (t, pid, tid, name, args-or-None)
         self.instants: List[Tuple] = []
+        # (t0, t1, kind, src_id, dst_id, args-or-None): causal edges
+        # between invocations (0 = the environment).  Links need no
+        # lane, so they can record waits that happen before a context
+        # is ever bound to a node (admission queues, dispatch backoff).
+        self.links: List[Tuple] = []
         self._procs: Dict[str, int] = {"rack": RACK_PID}
         self._free_lanes: Dict[int, List[int]] = {}
         self._lane_high: Dict[int, int] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
 
     # -- identity ------------------------------------------------------------
 
@@ -86,6 +93,18 @@ class SpanTracer:
         if pid is None:
             pid = self._procs[node_name] = len(self._procs)
         return pid
+
+    def prebind_nodes(self, node_names) -> None:
+        """Assign pids for ``node_names`` now, in the given order.
+
+        Cluster runs call this with the rack's platform list before any
+        dispatch, pinning node->pid to rack order instead of first-bind
+        order.  Every shard worker of a parallel run rebuilds the same
+        rack, so prebinding makes the pid map a pure function of the
+        spec — the property the span merge relies on.
+        """
+        for name in node_names:
+            self.pid_for(name)
 
     def processes(self) -> Dict[str, int]:
         """{track name: pid} — "rack" plus every node seen so far."""
@@ -99,7 +118,9 @@ class SpanTracer:
 
     def begin(self, function: str, t: float) -> TraceContext:
         """A fresh, unbound context for one invocation."""
-        return TraceContext(next(self._ids), function, t)
+        trace_id = self._next_id
+        self._next_id += 1
+        return TraceContext(trace_id, function, t)
 
     def bind(self, ctx: TraceContext, node_name: str) -> None:
         """Place ``ctx`` on a free invocation lane of ``node_name``.
@@ -121,7 +142,17 @@ class SpanTracer:
         ctx.tid = tid
 
     def finish(self, ctx: TraceContext, t: float) -> None:
-        """Release the context's lane; ``t`` closes the invocation."""
+        """Close the invocation at ``t`` and release its lane.
+
+        Emits an ``invocation_close`` instant on the lane (carrying the
+        trace id) so lane lifetimes — bind at the first span, close
+        here — are reconstructible from the trace alone.  A context
+        that never bound (e.g. shed before dispatch) has no lane and
+        closes silently.
+        """
+        if ctx.pid >= 0:
+            self.instants.append((t, ctx.pid, ctx.tid, "invocation_close",
+                                  {"trace_id": ctx.trace_id}))
         self._release_lane(ctx)
 
     def _release_lane(self, ctx: TraceContext) -> None:
@@ -161,6 +192,48 @@ class SpanTracer:
             pid, tid = RACK_PID, CONTROL_TID
         self.instants.append((t, pid, tid, name, args))
 
+    def link(self, kind: str, t0: float, t1: float,
+             src: "OptionalCtxOrId" = 0, dst: "OptionalCtxOrId" = 0,
+             args: Optional[Dict] = None) -> None:
+        """A causal edge: ``dst`` spent ``[t0, t1]`` waiting on ``src``.
+
+        ``src``/``dst`` are :class:`TraceContext` objects or raw trace
+        ids; 0 means "the environment" (a crash, a breaker, the rack).
+        Unlike spans, links attach to trace ids, not lanes, so they work
+        for contexts that are not (yet) bound to any node.
+        """
+        src_id = src.trace_id if isinstance(src, TraceContext) else int(src)
+        dst_id = dst.trace_id if isinstance(dst, TraceContext) else int(dst)
+        self.links.append((t0, t1, kind, src_id, dst_id, args))
+
+    # -- (de)serialization — the shard-worker process boundary -----------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot: everything the span merge needs."""
+        return {
+            "procs": [[name, self._procs[name]]
+                      for name in sorted(self._procs,
+                                         key=lambda n: self._procs[n])],
+            "lane_high": [[pid, self._lane_high[pid]]
+                          for pid in sorted(self._lane_high)],
+            "next_id": self._next_id,
+            "spans": [list(s) for s in self.spans],
+            "instants": [list(s) for s in self.instants],
+            "links": [list(s) for s in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SpanTracer":
+        tracer = cls()
+        tracer._procs = {name: int(pid) for name, pid in data["procs"]}
+        tracer._lane_high = {int(pid): int(high)
+                             for pid, high in data["lane_high"]}
+        tracer._next_id = int(data["next_id"])
+        tracer.spans = [tuple(s) for s in data["spans"]]
+        tracer.instants = [tuple(s) for s in data["instants"]]
+        tracer.links = [tuple(s) for s in data["links"]]
+        return tracer
+
     # -- stats -----------------------------------------------------------------
 
     @property
@@ -170,3 +243,7 @@ class SpanTracer:
     @property
     def n_instants(self) -> int:
         return len(self.instants)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.links)

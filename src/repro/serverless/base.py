@@ -294,7 +294,7 @@ class ServerlessPlatform:
             ctx = None   # stale context from a since-removed observer
         inst: Optional[Instance] = None
         try:
-            yield self._admit(function)
+            yield self._admit(function, ctx)
             queue_wait = self.node.now - t0
             t_acquire = self.node.now
             inst = self.warm.take(function)
@@ -320,7 +320,7 @@ class ServerlessPlatform:
             yield self._recycle(inst)
             if tracer is not None:
                 tracer.span(ctx, "teardown", t_teardown, self.node.now)
-            self._release(function)
+            self._release(function, ctx)
             self._apply_memory_pressure()
         except Interrupt as intr:
             # The node died under us: drop whatever was half-built and
@@ -376,10 +376,15 @@ class ServerlessPlatform:
         inst.retired = True
         inst.space.destroy()
 
-    def _admit(self, function: str):
+    def _admit(self, function: str, ctx=None):
         """Timed: wait for an admission slot if the function is capped.
         The slot is handed directly to the next waiter on release, so
-        admission is strictly FIFO and never over-subscribes."""
+        admission is strictly FIFO and never over-subscribes.
+
+        ``ctx`` rides along on the queue entry so the eventual grantor
+        can emit a causal ``slot_grant`` link (who the queue wait was
+        actually waiting on) — a host-side annotation only.
+        """
         limit = self._concurrency_limits.get(function)
         if limit is None:
             return
@@ -387,13 +392,14 @@ class ServerlessPlatform:
         running = self._running_per_function.get(function, 0)
         if running >= limit:
             gate = self.node.sim.event()
-            self._admission_queues.setdefault(function, []).append(gate)
+            entry = (gate, ctx, self.node.now)
+            self._admission_queues.setdefault(function, []).append(entry)
             try:
                 yield gate   # slot transferred on wake
             except Interrupt:
                 queue = self._admission_queues.get(function)
-                if queue and gate in queue:
-                    queue.remove(gate)      # never got the slot
+                if queue and entry in queue:
+                    queue.remove(entry)      # never got the slot
                 else:
                     self._release(function)  # slot arrived mid-interrupt
                 raise
@@ -401,12 +407,21 @@ class ServerlessPlatform:
             self._running_per_function[function] = running + 1
         return
 
-    def _release(self, function: str) -> None:
+    def _release(self, function: str, ctx=None) -> None:
         if function not in self._concurrency_limits:
             return
         queue = self._admission_queues.get(function)
         if queue:
-            queue.pop(0).trigger()
+            gate, waiter_ctx, t_enq = queue.pop(0)
+            obs = obs_hooks.active
+            if (obs is not None and obs.tracer is not None
+                    and waiter_ctx is not None):
+                obs.tracer.link("slot_grant", t_enq, self.node.now,
+                                src=(ctx if ctx is not None else 0),
+                                dst=waiter_ctx,
+                                args={"function": function,
+                                      "node": self.node.name})
+            gate.trigger()
         else:
             # .get guards the post-crash case where counters were reset
             # while this invocation still held a slot.
@@ -465,6 +480,9 @@ class ServerlessPlatform:
         retries = 0
         degraded = False
         t_replay0 = node.now
+        #: Host-side ledger: pool name -> CPU seconds charged for its
+        #: fetches/loads this invocation (feeds the per-tier blame).
+        pool_seconds: Dict[str, float] = {}
         self._inflight_fetches += 1
         try:
             for pool_name, pages in outcome.fetch_pools.items():
@@ -477,6 +495,9 @@ class ServerlessPlatform:
                 overhead += t
                 retries += r
                 degraded = degraded or d
+                if tracer is not None:
+                    pool_seconds[pool_name] = (
+                        pool_seconds.get(pool_name, 0.0) + t)
             # CXL (or other byte-addressable) resident loads: per-load
             # latency delta, paid inline during execution.
             if outcome.remote_loads:
@@ -485,6 +506,12 @@ class ServerlessPlatform:
                 overhead += t
                 retries += r
                 degraded = degraded or d
+                if tracer is not None and t > 0:
+                    load_pool = self._byte_addressable_pool(inst)
+                    load_name = (load_pool.name if load_pool is not None
+                                 else "local")
+                    pool_seconds[load_name] = (
+                        pool_seconds.get(load_name, 0.0) + t)
             t_compute0 = node.now
             yield from node.cpu.compute(profile.exec_cpu + overhead)
         finally:
@@ -500,7 +527,13 @@ class ServerlessPlatform:
                         args={"minor_faults": int(outcome.minor_faults),
                               "cow_faults": int(outcome.cow_faults),
                               "retries": retries,
-                              "fault_cpu_s": overhead})
+                              "fault_cpu_s": overhead,
+                              "pools": {k: pool_seconds[k]
+                                        for k in sorted(pool_seconds)}})
+            for pool_name in sorted(pool_seconds):
+                tracer.link("pool_fetch", t_replay0, split, src=0, dst=ctx,
+                            args={"pool": pool_name,
+                                  "cpu_s": pool_seconds[pool_name]})
             t_exec0 = split
         io_time = profile.io_time + self._file_io(inst, profile)
         if io_time > 0:
@@ -568,14 +601,17 @@ class ServerlessPlatform:
                 breaker.record(self.node.now, True, cost)
             return cost, attempt, False
 
+    def _byte_addressable_pool(self, inst: Instance) -> Optional[MemoryPool]:
+        """The pool serving this instance's direct loads, if any."""
+        for vma in inst.space.vmas:
+            if vma.pool is not None and vma.pool.byte_addressable:
+                return vma.pool
+        return None
+
     def _loads_with_recovery(self, inst: Instance, nloads: int
                              ) -> Generator:
         """Timed: direct-load overhead with the same retry/degrade ladder."""
-        pool = None
-        for vma in inst.space.vmas:
-            if vma.pool is not None and vma.pool.byte_addressable:
-                pool = vma.pool
-                break
+        pool = self._byte_addressable_pool(inst)
         if pool is None:
             return 0.0, 0, False
         breaker = self._pool_breaker(pool)

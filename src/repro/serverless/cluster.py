@@ -399,6 +399,14 @@ class Cluster:
                      stepper: Optional[Callable[[Simulator], None]] = None
                      ) -> ClusterResult:
         chosen_warmup = self.prepare_workload(workload, warmup)
+        obs0 = obs_hooks.active
+        if obs0 is not None and obs0.tracer is not None:
+            # Pin node->pid to rack order before any dispatch: every
+            # parallel shard worker rebuilds the same rack and prebinds
+            # identically, so serial and merged shard traces agree on
+            # pids by construction (first-bind order would depend on
+            # which events a worker owns).
+            obs0.tracer.prebind_nodes(p.node.name for p in self.platforms)
 
         def dispatch(event, slot):
             obs = obs_hooks.active
@@ -424,6 +432,10 @@ class Cluster:
                             # every node.
                             excluded.clear()
                             yield Delay(self.redispatch_wait)
+                            if tracer is not None:
+                                tracer.link("backoff", t_att, self.sim.now,
+                                            dst=ctx,
+                                            args={"reason": "all-down"})
                             continue
                         platform = self.policy.pick(candidates,
                                                     event.function)
@@ -453,6 +465,9 @@ class Cluster:
                                 tracer.instant("redispatch", self.sim.now,
                                                ctx=ctx,
                                                args={"from": key})
+                                tracer.link("crash_redispatch", t_att,
+                                            self.sim.now, dst=ctx,
+                                            args={"from": key})
                     finally:
                         slot["node"] = None
                 self.failed.append((event.function, event.time,
@@ -483,12 +498,13 @@ class Cluster:
             try:
                 deadline = plane.invocation_deadline(event.time)
                 status, entry = plane.admission.request(
-                    event.function, event.time, sim.now, deadline)
+                    event.function, event.time, sim.now, deadline, ctx=ctx)
                 if status == "shed":
                     self.failed.append((event.function, event.time,
                                         f"shed:{entry}"))
                     return
                 if status == "wait":
+                    t_wait0 = sim.now
                     try:
                         signal = yield entry.gate
                     except Interrupt:
@@ -499,6 +515,14 @@ class Cluster:
                         self.failed.append((event.function, event.time,
                                             f"shed:{reason}"))
                         return
+                    if tracer is not None:
+                        # The matching slot_grant link (with the granting
+                        # invocation as src) is emitted at release time;
+                        # this one records the wait itself, so the gap is
+                        # attributable even if the grantor was untraced.
+                        tracer.link("admission_wait", t_wait0, sim.now,
+                                    dst=ctx,
+                                    args={"function": event.function})
                 # Admitted: the slot is ours until every exit below.
                 plane.budget.earn()
                 slot["alive"] = True
@@ -518,6 +542,10 @@ class Cluster:
                         if not candidates:
                             excluded.clear()
                             yield Delay(self.redispatch_wait)
+                            if tracer is not None:
+                                tracer.link("backoff", now, sim.now,
+                                            dst=ctx,
+                                            args={"reason": "all-down"})
                             continue
                         allowed = plane.filter_candidates(candidates, now)
                         if not allowed:
@@ -525,6 +553,10 @@ class Cluster:
                             # back off, then rescan the whole rack.
                             excluded.clear()
                             yield Delay(self.redispatch_wait)
+                            if tracer is not None:
+                                tracer.link("backoff", now, sim.now,
+                                            dst=ctx,
+                                            args={"reason": "breaker-open"})
                             continue
                         # The preview above claims nothing; claim the
                         # grant (half-open probe slot) only for the
@@ -540,6 +572,10 @@ class Cluster:
                         if platform is None:
                             excluded.clear()
                             yield Delay(self.redispatch_wait)
+                            if tracer is not None:
+                                tracer.link("backoff", now, sim.now,
+                                            dst=ctx,
+                                            args={"reason": "claim-race"})
                             continue
                         key = platform.node.name
                         self.dispatch_counts[key] = (
@@ -574,6 +610,9 @@ class Cluster:
                                     tracer.instant("redispatch", sim.now,
                                                    ctx=ctx,
                                                    args={"from": key})
+                                    tracer.link("crash_redispatch", now,
+                                                sim.now, dst=ctx,
+                                                args={"from": key})
                             if not plane.budget.try_spend("redispatch"):
                                 abort_reason = "retry-budget"
                                 break
@@ -614,7 +653,8 @@ class Cluster:
                         raise
                 finally:
                     slot["alive"] = False
-                    plane.admission.release(event.function, sim.now)
+                    plane.admission.release(event.function, sim.now,
+                                            ctx=ctx)
                 # Only abort exits reach here (success returned above).
                 plane.record_abort(event.function, event.time, sim.now,
                                    abort_reason)

@@ -35,7 +35,11 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence,
+                    Tuple)
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.obs.trace import SpanTracer
 
 from repro import optflags
 from repro.serverless.cluster import ClusterResult, DispatchPolicy
@@ -83,6 +87,7 @@ class _ShardOutcome:
     pool_used_mb: float
     digest: int
     registry: Optional[Dict]
+    tracer: Optional[Dict] = None
 
 
 @dataclass
@@ -93,6 +98,14 @@ class ParallelRunOutcome:
     report: ParallelReport
     #: Merged MetricsRegistry.to_dict() when obs_level != "off".
     registry: Optional[Dict] = None
+    #: The run's span trace when obs_level == "spans": the live serial
+    #: tracer, or shard traces merged back to serial-equivalent form.
+    tracer: Optional["SpanTracer"] = None
+    #: How the trace was obtained: "serial" (reference path), "merged"
+    #: (shard traces folded via repro.obs.merge), or
+    #: "fallback: <reason>" (merge invariant broken; the trace comes
+    #: from a serial re-run).  None when spans were not requested.
+    span_merge: Optional[str] = None
 
 
 def _sub_workload(workload: Workload, events: List[ArrivalEvent],
@@ -140,10 +153,13 @@ def _shard_worker(spec: ClusterSpec, workload: Workload, shard: int,
 
     sub = _sub_workload(workload, events, shard)
     registry_dict: Optional[Dict] = None
+    tracer_dict: Optional[Dict] = None
     if obs_level != "off":
         with observed(obs_level) as obs:
             cluster.run_workload(sub, warmup=warmup, stepper=stepper)
         registry_dict = obs.registry.to_dict()
+        if obs.tracer is not None:
+            tracer_dict = obs.tracer.to_dict()
     else:
         cluster.run_workload(sub, warmup=warmup, stepper=stepper)
 
@@ -165,7 +181,8 @@ def _shard_worker(spec: ClusterSpec, workload: Workload, shard: int,
         duration=cluster.sim.now,
         pool_used_mb=cluster.rack_pool_used_mb(),
         digest=runner_box[0].digest,
-        registry=registry_dict)
+        registry=registry_dict,
+        tracer=tracer_dict)
 
 
 def _run_serial(spec: ClusterSpec, workload: Workload,
@@ -178,17 +195,21 @@ def _run_serial(spec: ClusterSpec, workload: Workload,
     # untimed preprocessing and stays outside the observed window.
     cluster.prepare_workload(workload, warmup=warmup)
     registry_dict: Optional[Dict] = None
+    tracer = None
     if obs_level != "off":
         with observed(obs_level) as obs:
             result = cluster.run_workload(workload, warmup=warmup)
         registry_dict = obs.registry.to_dict()
+        tracer = obs.tracer
     else:
         result = cluster.run_workload(workload, warmup=warmup)
     report = ParallelReport(mode=mode, jobs=jobs, n_shards=1, n_windows=0,
                             lookahead=0.0, window_width=0.0,
                             reasons=list(reasons))
     return ParallelRunOutcome(result=result, report=report,
-                              registry=registry_dict)
+                              registry=registry_dict, tracer=tracer,
+                              span_merge=("serial" if tracer is not None
+                                          else None))
 
 
 def _merge_outcomes(spec: ClusterSpec, workload: Workload,
@@ -292,5 +313,26 @@ def run_cluster_parallel(spec: ClusterSpec, workload: Workload,
             combined.merge_from(MetricsRegistry.from_dict(outcome.registry),
                                 gauges="sum")
         registry = combined.to_dict()
+    tracer = None
+    span_merge: Optional[str] = None
+    if obs_level == "spans":
+        from repro.obs.merge import (SpanMergeError, merge_shard_tracers,
+                                     shard_remaps)
+        remaps = shard_remaps([e.time for e in workload.events], plan)
+        try:
+            tracer = merge_shard_tracers(
+                [o.tracer for o in outcomes], remaps)
+            span_merge = "merged"
+        except SpanMergeError as exc:
+            # The merge invariants should hold for every eligible plan;
+            # if one broke, surface why and take the serial reference
+            # path for the trace (results stay bit-identical — only the
+            # trace's provenance changes).
+            fallback = _run_serial(spec, workload, warmup, obs_level,
+                                   mode="parallel", jobs=plan.n_shards,
+                                   reasons=[])
+            tracer = fallback.tracer
+            span_merge = f"fallback: {exc}"
     return ParallelRunOutcome(result=result, report=report,
-                              registry=registry)
+                              registry=registry, tracer=tracer,
+                              span_merge=span_merge)

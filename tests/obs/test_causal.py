@@ -1,0 +1,166 @@
+"""Causal graph + critical path: exact blame, clipping, link fills."""
+
+from fractions import Fraction
+
+from repro.mem.layout import GB
+from repro.obs.causal import (UNATTRIBUTED, BlameProfile, CausalGraph,
+                              folded_stacks)
+from repro.obs.observer import observed
+from repro.obs.trace import SpanTracer
+
+
+def _invocation(tracer, function, node, t0, t1, kind="cold",
+                phases=()):
+    """Record one complete invocation with the given phase spans."""
+    ctx = tracer.begin(function, t0)
+    tracer.bind(ctx, node)
+    for name, p0, p1, args in phases:
+        tracer.span(ctx, name, p0, p1, args=args)
+    tracer.span(ctx, function, t0, t1, cat="invocation",
+                args={"kind": kind})
+    tracer.finish(ctx, t1)
+    return ctx
+
+
+def test_blame_tiles_root_exactly():
+    tracer = SpanTracer()
+    _invocation(tracer, "fn", "node0", 0.0, 1.0, phases=[
+        ("acquire", 0.0, 0.4, None),
+        ("exec", 0.4, 1.0, None),
+    ])
+    path = CausalGraph(tracer).critical_path(1)
+    assert path is not None
+    # Exact float semantics: 0.4 is not 2/5, and the blame must carry
+    # the actual IEEE values so the telescoped sum is bit-exact.
+    assert path.blame == {"acquire": Fraction(0.4),
+                          "exec": Fraction(1.0) - Fraction(0.4)}
+    assert path.total_s() == path.e2e == 1.0
+    assert [s.label for s in path.segments] == ["acquire", "exec"]
+
+
+def test_nested_phase_gets_deepest_blame():
+    tracer = SpanTracer()
+    _invocation(tracer, "fn", "node0", 0.0, 1.0, phases=[
+        ("acquire", 0.0, 0.8, None),
+        ("mmt_attach", 0.2, 0.5, {"pool": "cxl"}),
+        ("exec", 0.8, 1.0, None),
+    ])
+    path = CausalGraph(tracer).critical_path(1)
+    # The inner attach claims its window; acquire keeps the remainder.
+    assert path.blame["mmt_attach"] == Fraction(0.5) - Fraction(0.2)
+    assert path.blame["acquire"] == (Fraction(0.8) - Fraction(0.5)
+                                     + Fraction(0.2))
+    assert path.pools == {"cxl": Fraction(0.5) - Fraction(0.2)}
+    assert path.total_s() == path.e2e
+
+
+def test_uncovered_gap_falls_to_link_then_unattributed():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)
+    tracer.bind(ctx, "node0")
+    tracer.span(ctx, "exec", 0.5, 1.0)
+    tracer.link("slot_grant", 0.0, 0.25, dst=ctx)
+    tracer.span(ctx, "fn", 0.0, 1.0, cat="invocation",
+                args={"kind": "warm"})
+    tracer.finish(ctx, 1.0)
+    path = CausalGraph(tracer).critical_path(ctx.trace_id)
+    labels = {s.label: s for s in path.segments}
+    assert labels["wait:slot_grant"].source == "link"
+    assert labels[UNATTRIBUTED].source == "gap"
+    assert path.blame["wait:slot_grant"] == Fraction(1, 4)
+    assert path.blame[UNATTRIBUTED] == Fraction(1, 4)
+    assert path.total_s() == path.e2e
+
+
+def test_crashed_attempt_spans_clip_out():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)
+    tracer.bind(ctx, "node0")
+    # The first attempt's work, then the node crashed at t=0.3.
+    tracer.span(ctx, "acquire", 0.0, 0.3)
+    tracer.link("crash_redispatch", 0.3, 0.5, dst=ctx,
+                args={"from": "node0"})
+    tracer.bind(ctx, "node1")
+    tracer.span(ctx, "acquire", 0.5, 0.7)
+    tracer.span(ctx, "exec", 0.7, 1.0)
+    tracer.span(ctx, "fn", 0.5, 1.0, cat="invocation",
+                args={"kind": "cold"})
+    tracer.finish(ctx, 1.0)
+    path = CausalGraph(tracer).critical_path(ctx.trace_id)
+    # Only the successful attempt's interval is blamed...
+    assert path.total_s() == path.e2e == 0.5
+    assert path.blame == {"acquire": Fraction(0.7) - Fraction(0.5),
+                          "exec": Fraction(1.0) - Fraction(0.7)}
+    assert path.node == "node1"
+    # ...and the re-dispatch wait shows up as a pre-root wait.
+    assert path.pre_waits == {
+        "crash_redispatch": Fraction(0.5) - Fraction(0.3)}
+
+
+def test_incomplete_invocation_has_no_path():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)
+    tracer.bind(ctx, "node0")
+    tracer.span(ctx, "acquire", 0.0, 0.2)   # no root: never completed
+    graph = CausalGraph(tracer)
+    assert graph.critical_path(ctx.trace_id) is None
+    assert graph.trace_ids() == []
+
+
+def test_waiters_on_inverts_links():
+    tracer = SpanTracer()
+    granter = tracer.begin("g", 0.0)
+    waiter = tracer.begin("w", 0.0)
+    tracer.link("slot_grant", 1.0, 2.0, src=granter, dst=waiter)
+    graph = CausalGraph(tracer)
+    (link,) = graph.waiters_on(granter.trace_id)
+    assert link[2] == "slot_grant" and link[4] == waiter.trace_id
+    assert graph.waiters_on(waiter.trace_id) == []
+
+
+def test_blame_profile_merge_matches_single_pass():
+    tracer = SpanTracer()
+    for i in range(6):
+        _invocation(tracer, "fn", f"node{i % 2}", float(i), i + 0.5,
+                    kind=("warm" if i % 3 else "cold"),
+                    phases=[("exec", float(i), i + 0.5, None)])
+    paths = CausalGraph(tracer).all_paths()
+    whole = BlameProfile()
+    for path in paths:
+        whole.add_path(path)
+    left, right = BlameProfile(), BlameProfile()
+    for path in paths[:2]:
+        left.add_path(path)
+    for path in paths[2:]:
+        right.add_path(path)
+    left.merge_from(right)
+    assert left.to_dict() == whole.to_dict()
+    assert whole.n == 6
+
+
+def test_folded_stacks_format():
+    tracer = SpanTracer()
+    _invocation(tracer, "fn", "node0", 0.0, 1.0, kind="cold", phases=[
+        ("exec", 0.0, 1.0, None)])
+    out = folded_stacks(CausalGraph(tracer).all_paths())
+    assert out == "cold;node0;exec 1000000\n"
+
+
+def test_real_run_is_fully_attributed():
+    """W2 on t-cxl: every path exact, no unattributed time."""
+    from repro.bench.harness import run_platform_workload
+    from repro.workloads.synthetic import make_w2_diurnal
+
+    wl = make_w2_diurnal(seed=1, duration=60.0, mean_rate=1.6,
+                         soft_cap_bytes=5 * GB)
+    with observed("spans") as obs:
+        result = run_platform_workload("t-cxl", wl, seed=1)
+    paths = CausalGraph(obs.tracer).all_paths()
+    assert len(paths) == result.recorder.count()
+    for path in paths:
+        assert path.total_s() == path.e2e
+        assert all(seg.label != UNATTRIBUTED for seg in path.segments)
+    # Recorded e2e values line up 1:1 with the root spans.
+    recorded = sorted(r.e2e for r in result.recorder.results)
+    attributed = sorted(p.e2e for p in paths)
+    assert recorded == attributed

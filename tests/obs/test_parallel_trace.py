@@ -1,0 +1,131 @@
+"""Span-complete parallel traces: shard merge equals serial, byte for byte."""
+
+import json
+
+import pytest
+
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.obs.merge import (SpanMergeError, merge_shard_tracers,
+                             serial_trace_ids, shard_remaps)
+from repro.serverless.parallel import run_cluster_parallel
+from repro.serverless.partition import ClusterSpec, plan_shards
+from repro.workloads.synthetic import make_scaleout_uniform
+
+
+def _setup(duration=30.0, nodes=4, seed=7, rate=20.0):
+    workload = make_scaleout_uniform(seed=seed, duration=duration,
+                                     rate=rate)
+    return ClusterSpec(n_nodes=nodes, seed=seed), workload
+
+
+# ---------------------------------------------------------------- id remap --
+
+def test_serial_trace_ids_follow_wake_order():
+    # Wake order sorts by (time, index); ids are 1-based positions.
+    assert serial_trace_ids([0.0, 2.0, 1.0]) == [1, 3, 2]
+    assert serial_trace_ids([5.0, 5.0, 1.0]) == [2, 3, 1]
+    # Negative times clamp to "now" (0) but keep index order.
+    assert serial_trace_ids([-1.0, 0.0, -2.0]) == [1, 2, 3]
+    assert serial_trace_ids([]) == []
+
+
+def test_shard_remaps_cover_ids_exactly_once():
+    spec, workload = _setup()
+    plan = plan_shards(spec, workload, 3)
+    remaps = shard_remaps([e.time for e in workload.events], plan)
+    assert len(remaps) == plan.n_shards
+    seen = [sid for remap in remaps for sid in remap.values()]
+    assert sorted(seen) == list(range(1, len(workload.events) + 1))
+    for remap in remaps:
+        assert sorted(remap) == list(range(1, len(remap) + 1))
+
+
+# ------------------------------------------------------------ byte identity --
+
+def test_parallel_trace_byte_identical_to_serial():
+    spec, workload = _setup()
+    serial = run_cluster_parallel(spec, workload, jobs=1,
+                                  obs_level="spans")
+    assert serial.span_merge == "serial"
+    ref = json.dumps(to_chrome_trace(serial.tracer))
+    for jobs in (2, 3, 4):
+        par = run_cluster_parallel(spec, workload, jobs=jobs,
+                                   obs_level="spans")
+        assert par.span_merge == "merged"
+        assert json.dumps(to_chrome_trace(par.tracer)) == ref
+    assert validate_chrome_trace(json.loads(ref)) == []
+
+
+def test_merged_tracer_is_shard_count_invariant():
+    spec, workload = _setup(nodes=3)
+    two = run_cluster_parallel(spec, workload, jobs=2, obs_level="spans")
+    three = run_cluster_parallel(spec, workload, jobs=3,
+                                 obs_level="spans")
+    assert two.tracer.to_dict() == three.tracer.to_dict()
+
+
+def test_metrics_level_records_no_trace():
+    spec, workload = _setup(duration=10.0, nodes=2)
+    par = run_cluster_parallel(spec, workload, jobs=2,
+                               obs_level="metrics")
+    assert par.tracer is None
+    assert par.span_merge is None
+    assert par.registry is not None
+
+
+# ------------------------------------------------------- fallback reasons --
+
+def test_merge_rejects_missing_shard_trace():
+    with pytest.raises(SpanMergeError, match="no span trace"):
+        merge_shard_tracers([None], [{}])
+    with pytest.raises(SpanMergeError, match="no shard traces"):
+        merge_shard_tracers([], [])
+
+
+def test_merge_rejects_disagreeing_pid_maps():
+    from repro.obs.trace import SpanTracer
+    a, b = SpanTracer(), SpanTracer()
+    a.prebind_nodes(["node0", "node1"])
+    b.prebind_nodes(["node1", "node0"])
+    with pytest.raises(SpanMergeError, match="pid map differs"):
+        merge_shard_tracers([a.to_dict(), b.to_dict()], [{}, {}])
+
+
+def test_merge_rejects_begin_count_mismatch():
+    from repro.obs.trace import SpanTracer
+    tracer = SpanTracer()
+    tracer.begin("fn", 0.0)
+    with pytest.raises(SpanMergeError, match="owns 2 events"):
+        merge_shard_tracers([tracer.to_dict()], [{1: 1, 2: 2}])
+
+
+def test_merge_failure_surfaces_reason_and_reruns_serial(monkeypatch):
+    """A broken merge invariant falls back with an explicit reason."""
+    from repro.serverless import parallel as par_mod
+
+    def broken_merge(dicts, remaps):
+        raise SpanMergeError("synthetic invariant breach")
+
+    monkeypatch.setattr("repro.obs.merge.merge_shard_tracers",
+                        broken_merge)
+    spec, workload = _setup(duration=10.0, nodes=2)
+    out = par_mod.run_cluster_parallel(spec, workload, jobs=2,
+                                       obs_level="spans")
+    assert out.report.mode == "parallel"
+    assert out.span_merge == "fallback: synthetic invariant breach"
+    # The trace still exists (serial re-run) and is the serial trace.
+    serial = par_mod.run_cluster_parallel(spec, workload, jobs=1,
+                                          obs_level="spans")
+    assert json.dumps(to_chrome_trace(out.tracer)) == \
+        json.dumps(to_chrome_trace(serial.tracer))
+
+
+def test_capture_report_surfaces_span_merge(tmp_path):
+    from repro.obs.capture import run_traced_scenario
+    out = tmp_path / "trace.json"
+    report = run_traced_scenario("cluster", duration=10.0, nodes=2,
+                                 jobs=2, out=str(out))
+    assert report["parallel"]["mode"] == "parallel"
+    assert report["parallel"]["span_merge"] == "merged"
+    assert report["n_links"] >= 0
+    assert validate_chrome_trace(json.loads(out.read_text())) == []

@@ -103,6 +103,51 @@ def test_empty_registry_exposition():
     assert MetricsRegistry().totals() == {}
 
 
+def test_exposition_grammar_help_and_type():
+    """Every family: one # HELP then one # TYPE, before its samples."""
+    reg = MetricsRegistry()
+    reg.inc("hits_total", 3, node="n0")
+    reg.inc("hits_total", 1, node="n1")
+    reg.set_gauge("depth", 2.5)
+    reg.observe("lat_seconds", 0.01)
+    lines = reg.prometheus_text().splitlines()
+    seen = set()
+    for i, line in enumerate(lines):
+        if line.startswith("# HELP "):
+            family = line.split(" ", 3)[2]
+            assert family not in seen, f"duplicate HELP for {family}"
+            seen.add(family)
+            # The grammar: HELP first, TYPE immediately after, samples
+            # of that family only below.
+            assert lines[i + 1].startswith(f"# TYPE {family} ")
+        elif not line.startswith("#"):
+            family = line.split("{", 1)[0].split(" ", 1)[0]
+            base = family
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+            assert base in seen, f"sample before HELP/TYPE: {line}"
+    # All three families announced.
+    assert {"hits_total", "depth", "lat_seconds"} <= seen
+
+
+def test_label_value_escaping():
+    reg = MetricsRegistry()
+    reg.inc("hits_total", 2, path='a\\b"c\nd')
+    text = reg.prometheus_text()
+    assert 'hits_total{path="a\\\\b\\"c\\nd"} 2' in text.splitlines()
+    # The internal canonical form (totals) is untouched.
+    assert 'hits_total{path="a\\b"c\nd"}' in reg.totals()
+
+
+def test_help_text_escaping_and_suffix_stripping():
+    from repro.obs.registry import _escape_help, metric_help
+    assert metric_help("pool_fetch_seconds") == "pool fetch (repro.obs)"
+    assert metric_help("invocations_total") == "invocations (repro.obs)"
+    assert metric_help("depth") == "depth (repro.obs)"
+    assert _escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+
 def test_observability_rejects_off_level():
     from repro.obs.observer import Observability
     with pytest.raises(ValueError):

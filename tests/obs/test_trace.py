@@ -101,3 +101,77 @@ def test_instant_placement_precedence():
     assert node[1:3] == (tracer.pid_for("node0"), CONTROL_TID)
     assert rack[1:3] == (RACK_PID, CONTROL_TID)
     assert tracer.n_instants == 3
+
+
+def test_finish_emits_invocation_close_instant():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)
+    tracer.bind(ctx, "node0")
+    pid, tid, trace_id = ctx.pid, ctx.tid, ctx.trace_id
+    tracer.finish(ctx, 4.5)
+    (t, ipid, itid, name, args), = tracer.instants
+    assert (t, ipid, itid) == (4.5, pid, tid)
+    assert name == "invocation_close"
+    assert args == {"trace_id": trace_id}
+    # The finish timestamp is recorded, not silently dropped, and the
+    # lane is free again.
+    assert not ctx.bound
+
+
+def test_finish_unbound_context_is_silent():
+    tracer = SpanTracer()
+    ctx = tracer.begin("fn", 0.0)   # shed before any bind
+    tracer.finish(ctx, 1.0)
+    assert tracer.n_instants == 0
+    # Double-finish after a bind is also safe (lane released once).
+    ctx2 = tracer.begin("fn", 0.0)
+    tracer.bind(ctx2, "node0")
+    tracer.finish(ctx2, 1.0)
+    tracer.finish(ctx2, 2.0)
+    assert tracer.n_instants == 1
+
+
+def test_prebind_pins_pids_to_given_order():
+    tracer = SpanTracer()
+    tracer.prebind_nodes(["node0", "node1", "node2"])
+    assert tracer.processes() == {"rack": RACK_PID, "node0": 1,
+                                  "node1": 2, "node2": 3}
+    # First-bind order no longer matters.
+    ctx = tracer.begin("fn", 0.0)
+    tracer.bind(ctx, "node2")
+    assert ctx.pid == 3
+
+
+def test_links_accept_contexts_and_raw_ids():
+    tracer = SpanTracer()
+    src = tracer.begin("granter", 0.0)
+    dst = tracer.begin("waiter", 0.0)
+    tracer.link("slot_grant", 1.0, 2.0, src=src, dst=dst,
+                args={"function": "fn"})
+    tracer.link("backoff", 3.0, 4.0, dst=dst.trace_id)
+    assert tracer.n_links == 2
+    grant, backoff = tracer.links
+    assert grant == (1.0, 2.0, "slot_grant", src.trace_id, dst.trace_id,
+                     {"function": "fn"})
+    assert backoff == (3.0, 4.0, "backoff", 0, dst.trace_id, None)
+    # Links need no lane: neither context was ever bound.
+    assert not src.bound and not dst.bound
+
+
+def test_to_dict_roundtrip_preserves_everything():
+    tracer = SpanTracer()
+    tracer.prebind_nodes(["node0", "node1"])
+    a = tracer.begin("a", 0.0)
+    tracer.bind(a, "node1")
+    tracer.span(a, "exec", 0.5, 1.5, args={"k": "v"})
+    tracer.instant("mark", 0.7, ctx=a)
+    tracer.link("pool_fetch", 0.5, 0.6, dst=a, args={"pool": "cxl"})
+    tracer.finish(a, 2.0)
+    clone = SpanTracer.from_dict(tracer.to_dict())
+    assert clone.processes() == tracer.processes()
+    assert clone.spans == tracer.spans
+    assert clone.instants == tracer.instants
+    assert clone.links == tracer.links
+    assert clone.lane_count(2) == tracer.lane_count(2)
+    # Fresh ids continue where the original left off.
+    assert clone.begin("b", 3.0).trace_id == tracer.begin("b", 3.0).trace_id

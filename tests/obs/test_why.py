@@ -1,0 +1,114 @@
+"""The why engine: cohorts, verdicts, determinism, CLI surface."""
+
+import json
+
+from repro.obs.causal import CausalGraph
+from repro.obs.trace import SpanTracer
+from repro.obs.why import (percentile_index, render_text,
+                           run_why_scenario, tail_cohort_diff, why_report)
+
+
+def _tracer_with(durations):
+    """One invocation per duration, all exec-only on node0."""
+    tracer = SpanTracer()
+    for i, dur in enumerate(durations):
+        t0 = float(10 * i)
+        ctx = tracer.begin("fn", t0)
+        tracer.bind(ctx, "node0")
+        tracer.span(ctx, "exec", t0, t0 + dur)
+        tracer.span(ctx, "fn", t0, t0 + dur, cat="invocation",
+                    args={"kind": "warm"})
+        tracer.finish(ctx, t0 + dur)
+    return tracer
+
+
+def test_percentile_index_nearest_rank():
+    assert percentile_index(1, 0.99) == 0
+    assert percentile_index(100, 0.50) == 49
+    assert percentile_index(100, 0.99) == 98
+    assert percentile_index(101, 0.99) == 99
+    assert percentile_index(3, 1.0) == 2
+
+
+def test_tail_cohort_diff_blames_the_slow_phase():
+    durations = [0.1] * 98 + [0.1, 2.0]
+    paths = CausalGraph(_tracer_with(durations)).all_paths()
+    diff = tail_cohort_diff(paths, tail_q=0.99)
+    assert diff["n"] == 100
+    assert diff["tail"]["n"] == 2          # ranks 98..99
+    assert diff["baseline"]["n"] == 50
+    assert diff["culprits"] == ["exec"]
+    assert diff["delta_s"]["exec"] > 0
+    assert "exec" in diff["verdict"]
+
+
+def test_tail_cohort_diff_empty_and_uniform():
+    assert tail_cohort_diff([])["verdict"] == "no completed invocations"
+    uniform = CausalGraph(_tracer_with([0.5] * 10)).all_paths()
+    diff = tail_cohort_diff(uniform)
+    assert diff["culprits"] == []
+    assert "identical" in diff["verdict"]
+
+
+def test_why_report_shape_and_exactness():
+    tracer = _tracer_with([0.1, 0.2, 0.4])
+    report = why_report(tracer, "synthetic", meta={"label": "test"})
+    assert report["invocations"] == 3
+    assert report["blame_sums_exact"] is True
+    assert set(report["blame"]["by_phase_s"]) == {"exec"}
+    assert abs(report["blame"]["by_phase_s"]["exec"] - 0.7) < 1e-9
+    assert report["label"] == "test"
+    assert len(report["slowest"]) == 3
+    assert abs(report["slowest"][0]["e2e_s"] - 0.4) < 1e-9
+    assert report["folded_stacks"].startswith("warm;node0;exec ")
+    text = render_text(report)
+    assert "blame sums exact: True" in text
+    assert "verdict:" in text
+
+
+def test_why_cluster_deterministic_and_jobs_invariant():
+    kwargs = dict(duration=30.0, seed=3, nodes=2)
+    first = run_why_scenario("cluster", jobs=1, **kwargs)
+    again = run_why_scenario("cluster", jobs=1, **kwargs)
+    sharded = run_why_scenario("cluster", jobs=2, **kwargs)
+    as_json = lambda r: json.dumps(r, sort_keys=True)
+    assert as_json(first) == as_json(again)
+    assert first["blame_sums_exact"] is True
+    # The sharded run differs only in how the trace was obtained.
+    for report in (first, sharded):
+        report["parallel"] = None
+        report["span_merge"] = None
+    assert as_json(first) == as_json(sharded)
+
+
+def test_why_overload_has_pre_dispatch_waits():
+    report = run_why_scenario("overload", duration=15.0, seed=1, nodes=2)
+    assert report["blame_sums_exact"] is True
+    assert report["blame"]["pre_wait_s"].get("admission_wait", 0) > 0
+    assert report["blame"]["pre_wait_s"].get("slot_grant", 0) > 0
+    assert report["parallel"]["mode"] == "fallback"
+
+
+def test_cli_why_json_and_out(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "why.json"
+    assert main(["why", "w2", "--duration", "15", "--format", "json",
+                 "--out", str(out)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["scenario"] == "w2"
+    assert report["blame_sums_exact"] is True
+    assert json.loads(out.read_text()) == report
+
+
+def test_cli_why_text_default(capsys):
+    from repro.cli import main
+    assert main(["why", "w2", "--duration", "15"]) == 0
+    text = capsys.readouterr().out
+    assert text.startswith("why w2:")
+    assert "verdict:" in text
+
+
+def test_cli_list_mentions_why(capsys):
+    from repro.cli import main
+    assert main(["list"]) == 0
+    assert "why" in capsys.readouterr().out.split()

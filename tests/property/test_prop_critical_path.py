@@ -1,0 +1,114 @@
+"""Property tests: critical-path blame is exact, tiled, and mergeable."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.causal import BlameProfile, CausalGraph
+from repro.obs.trace import SpanTracer
+
+PHASES = ("queue", "acquire", "criu_restore", "mmt_attach",
+          "fault_replay", "exec", "teardown")
+
+# Virtual timestamps as short-mantissa floats: realistic (they come
+# from float arithmetic in the simulator) yet varied enough to stress
+# the Fraction-exact bookkeeping.
+times = st.integers(0, 10**6).map(lambda n: n / 1024.0)
+durs = st.integers(1, 10**5).map(lambda n: n / 1024.0)
+
+
+@st.composite
+def invocations(draw):
+    """A batch of synthetic invocations: (t0, t1, phases, links)."""
+    batch = []
+    n = draw(st.integers(1, 8))
+    for _ in range(n):
+        t0 = draw(times)
+        t1 = t0 + draw(durs)
+        span = t1 - t0
+        # Phase spans live anywhere inside (and sometimes outside —
+        # e.g. a crashed attempt) the root window; overlap is allowed.
+        phases = []
+        for _ in range(draw(st.integers(0, 5))):
+            name = draw(st.sampled_from(PHASES))
+            p0 = t0 + draw(st.floats(-0.5, 1.0)) * span
+            p1 = p0 + draw(st.floats(0.0, 1.0)) * span
+            phases.append((name, p0, p1))
+        links = []
+        for _ in range(draw(st.integers(0, 2))):
+            kind = draw(st.sampled_from(
+                ("slot_grant", "backoff", "pool_fetch")))
+            l0 = t0 + draw(st.floats(-1.0, 1.0)) * span
+            l1 = l0 + draw(st.floats(0.0, 0.5)) * span
+            links.append((kind, l0, l1))
+        batch.append((t0, t1, phases, links))
+    return batch
+
+
+def _record(batch):
+    tracer = SpanTracer()
+    for i, (t0, t1, phases, links) in enumerate(batch):
+        ctx = tracer.begin("fn", t0)
+        tracer.bind(ctx, f"node{i % 3}")
+        for name, p0, p1 in phases:
+            tracer.span(ctx, name, p0, p1)
+        for kind, l0, l1 in links:
+            tracer.link(kind, l0, l1, dst=ctx)
+        tracer.span(ctx, "fn", t0, t1, cat="invocation",
+                    args={"kind": "cold"})
+        tracer.finish(ctx, t1)
+    return tracer
+
+
+@settings(max_examples=80, deadline=None)
+@given(invocations())
+def test_blame_sums_exactly_to_e2e(batch):
+    paths = CausalGraph(_record(batch)).all_paths()
+    assert len(paths) == len(batch)
+    for path in paths:
+        # Bit-exact: the Fraction total *is* the float e2e.
+        assert path.total == Fraction(path.t1) - Fraction(path.t0)
+        assert path.total_s() == path.e2e
+        assert sum(path.blame.values(), Fraction(0)) == path.total
+
+
+@settings(max_examples=80, deadline=None)
+@given(invocations())
+def test_segments_tile_the_root_monotonically(batch):
+    for path in CausalGraph(_record(batch)).all_paths():
+        cursor = Fraction(path.t0)
+        for seg in path.segments:
+            assert Fraction(seg.t0) == cursor
+            assert Fraction(seg.t1) > Fraction(seg.t0)
+            cursor = Fraction(seg.t1)
+        assert cursor == Fraction(path.t1)
+        # Coalescing: no two adjacent segments share a label.
+        labels = [s.label for s in path.segments]
+        assert all(a != b for a, b in zip(labels, labels[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(invocations(), st.permutations(range(4)), st.integers(1, 3))
+def test_blame_profile_merge_associative_order_invariant(batch, order,
+                                                         split):
+    paths = CausalGraph(_record(batch)).all_paths()
+    # Split into 4 chunks, merge in an arbitrary order and grouping.
+    chunks = [paths[i::4] for i in range(4)]
+
+    def profile(chunk):
+        prof = BlameProfile()
+        for path in chunk:
+            prof.add_path(path)
+        return prof
+
+    whole = profile(paths)
+    left = BlameProfile()
+    for i in order[:split]:
+        left.merge_from(profile(chunks[i]))
+    right = BlameProfile()
+    for i in order[split:]:
+        right.merge_from(profile(chunks[i]))
+    left.merge_from(right)
+    assert left.to_dict() == whole.to_dict()
+    assert left.n == whole.n == len(paths)
